@@ -1,0 +1,297 @@
+(** Command-line interface to the DPMR reproduction.
+
+    - [dpmr run <workload>] — run a workload golden or under a DPMR config;
+    - [dpmr transform <workload>] — print the transformed IR;
+    - [dpmr sites <workload>] — list fault-injection sites;
+    - [dpmr inject <workload> --site N] — run one fault-injection experiment;
+    - [dpmr dsa <workload>] — Data Structure Analysis exclusion ratios;
+    - [dpmr recover <workload>] — inject, detect, recover Rx-style;
+    - [dpmr report <id>|all] — regenerate a paper table/figure;
+    - [dpmr list] — list workloads and experiment ids. *)
+
+open Cmdliner
+module Config = Dpmr_core.Config
+module Dpmr = Dpmr_core.Dpmr
+module Outcome = Dpmr_vm.Outcome
+module Workloads = Dpmr_workloads.Workloads
+module Inject = Dpmr_fi.Inject
+module Experiment = Dpmr_fi.Experiment
+module Figures = Dpmr_harness.Figures
+
+(* ---- shared options ---- *)
+
+let scale_t =
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
+
+let seed_t =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+let mode_t =
+  let mode_conv = Arg.enum [ ("sds", Config.Sds); ("mds", Config.Mds) ] in
+  Arg.(value & opt mode_conv Config.Sds & info [ "mode" ] ~doc:"Replication design: sds or mds.")
+
+let diversity_t =
+  let parse s =
+    match s with
+    | "none" | "no-diversity" -> Ok Config.No_diversity
+    | "zero-before-free" -> Ok Config.Zero_before_free
+    | "rearrange-heap" -> Ok Config.Rearrange_heap
+    | _ when String.length s > 10 && String.sub s 0 10 = "pad-stack-" -> (
+        match int_of_string_opt (String.sub s 10 (String.length s - 10)) with
+        | Some n -> Ok (Config.Pad_alloca n)
+        | None -> Error (`Msg "bad stack pad size"))
+    | _ when String.length s > 4 && String.sub s 0 4 = "pad-" -> (
+        match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+        | Some n -> Ok (Config.Pad_malloc n)
+        | None -> Error (`Msg "bad pad size"))
+    | _ -> Error (`Msg ("unknown diversity " ^ s))
+  in
+  let print ppf d = Fmt.string ppf (Config.diversity_name d) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.No_diversity
+    & info [ "diversity" ] ~doc:"none | zero-before-free | rearrange-heap | pad-<bytes> | pad-stack-<bytes>.")
+
+let policy_t =
+  let parse s =
+    match s with
+    | "all-loads" -> Ok Config.All_loads
+    | "temporal-1/8" -> Ok (Config.Temporal Config.temporal_mask_1_8)
+    | "temporal-1/2" -> Ok (Config.Temporal Config.temporal_mask_1_2)
+    | "temporal-7/8" -> Ok (Config.Temporal Config.temporal_mask_7_8)
+    | _ when String.length s > 7 && String.sub s 0 7 = "static-" -> (
+        match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+        | Some n -> Ok (Config.Static (float_of_int n /. 100.))
+        | None -> Error (`Msg "bad static percentage"))
+    | _ -> Error (`Msg ("unknown policy " ^ s))
+  in
+  let print ppf p = Fmt.string ppf (Config.policy_name p) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.All_loads
+    & info [ "policy" ]
+        ~doc:"all-loads | temporal-1/8 | temporal-1/2 | temporal-7/8 | static-<pct>.")
+
+let plain_t =
+  Arg.(value & flag & info [ "plain" ] ~doc:"Run without the DPMR transformation.")
+
+let workload_t =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let die fmt = Printf.ksprintf (fun m -> Printf.eprintf "dpmr: %s\n" m; exit 2) fmt
+
+let build_workload name scale =
+  match List.find_opt (fun (e : Workloads.entry) -> e.Workloads.name = name) Workloads.all with
+  | Some entry -> entry.Workloads.build ~scale ()
+  | None ->
+      die "unknown workload %S (try: %s)" name (String.concat ", " Workloads.names)
+
+let report_run (r : Outcome.run) =
+  Printf.printf "outcome : %s\n" (Outcome.to_string r.Outcome.outcome);
+  Printf.printf "cost    : %Ld units\n" r.Outcome.cost;
+  Printf.printf "heap    : %d bytes peak\n" r.Outcome.peak_heap_bytes;
+  Printf.printf "output  :\n%s" r.Outcome.output
+
+(* ---- commands ---- *)
+
+let run_cmd =
+  let go name scale seed mode diversity policy plain =
+    let prog = build_workload name scale in
+    let r =
+      if plain then Dpmr.run_plain ~seed prog
+      else
+        let cfg = { Config.mode; diversity; policy; seed } in
+        Dpmr.run_dpmr ~seed cfg prog
+    in
+    report_run r
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a workload, optionally under DPMR.")
+    Term.(const go $ workload_t $ scale_t $ seed_t $ mode_t $ diversity_t $ policy_t $ plain_t)
+
+let transform_cmd =
+  let go name scale mode diversity policy =
+    let prog = build_workload name scale in
+    let cfg = { Config.default with Config.mode; diversity; policy } in
+    let tp = Dpmr.transform cfg prog in
+    print_string (Dpmr_ir.Printer.prog_to_string tp)
+  in
+  Cmd.v (Cmd.info "transform" ~doc:"Print the DPMR-transformed IR of a workload.")
+    Term.(const go $ workload_t $ scale_t $ mode_t $ diversity_t $ policy_t)
+
+let sites_cmd =
+  let go name scale =
+    let prog = build_workload name scale in
+    List.iter
+      (fun kind ->
+        Printf.printf "%s:\n" (Inject.kind_name kind);
+        List.iteri
+          (fun i s -> Printf.printf "  [%d] %s\n" i (Inject.site_name s))
+          (Inject.sites kind prog))
+      [ Inject.Heap_array_resize 50; Inject.Immediate_free ]
+  in
+  Cmd.v (Cmd.info "sites" ~doc:"List fault-injection sites of a workload.")
+    Term.(const go $ workload_t $ scale_t)
+
+let inject_cmd =
+  let site_t = Arg.(value & opt int 0 & info [ "site" ] ~docv:"N" ~doc:"Site index.") in
+  let kind_t =
+    let kind_conv =
+      Arg.enum [ ("resize", Inject.Heap_array_resize 50); ("free", Inject.Immediate_free) ]
+    in
+    Arg.(value & opt kind_conv (Inject.Heap_array_resize 50) & info [ "kind" ] ~doc:"resize | free.")
+  in
+  let go name scale seed mode diversity policy plain kind site_idx =
+    let wk = Experiment.workload name (fun () -> build_workload name scale) in
+    let e = Experiment.make ~seed wk in
+    let sites = Experiment.sites e kind in
+    match List.nth_opt sites site_idx with
+    | None -> Printf.eprintf "no such site (have %d)\n" (List.length sites)
+    | Some site ->
+        let variant =
+          if plain then Experiment.Fi_stdapp (kind, site)
+          else Experiment.Fi_dpmr ({ Config.mode; diversity; policy; seed }, kind, site)
+        in
+        let c = Experiment.run_variant e variant in
+        Printf.printf "site    : %s\n" (Inject.site_name site);
+        Printf.printf "sf      : %b\n" c.Experiment.sf;
+        Printf.printf "correct : %b\n" c.Experiment.co;
+        Printf.printf "natdet  : %b\n" c.Experiment.ndet;
+        Printf.printf "dpmrdet : %b\n" c.Experiment.ddet;
+        Printf.printf "timeout : %b\n" c.Experiment.timeout;
+        (match c.Experiment.t2d with
+        | Some t -> Printf.printf "t2d     : %Ld units\n" t
+        | None -> ())
+  in
+  Cmd.v (Cmd.info "inject" ~doc:"Run one fault-injection experiment.")
+    Term.(
+      const go $ workload_t $ scale_t $ seed_t $ mode_t $ diversity_t $ policy_t $ plain_t
+      $ kind_t $ site_t)
+
+let dump_cmd =
+  let go name scale =
+    print_string (Dpmr_ir.Text.emit (build_workload name scale))
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Serialize a workload to the textual IR format.")
+    Term.(const go $ workload_t $ scale_t)
+
+let runfile_cmd =
+  let file_t = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ir") in
+  let go file seed mode diversity policy plain =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    let prog =
+      try Dpmr_ir.Text.parse src
+      with Dpmr_ir.Text.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" file line msg;
+        exit 1
+    in
+    Dpmr_vm.Extern.declare_signatures prog;
+    Dpmr_ir.Verifier.check_prog prog;
+    let r =
+      if plain then Dpmr.run_plain ~seed prog
+      else Dpmr.run_dpmr ~seed { Config.mode; diversity; policy; seed } prog
+    in
+    report_run r
+  in
+  Cmd.v
+    (Cmd.info "runfile" ~doc:"Parse a textual-IR file and run it (optionally under DPMR).")
+    Term.(const go $ file_t $ seed_t $ mode_t $ diversity_t $ policy_t $ plain_t)
+
+let dsa_cmd =
+  let dump_t =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Also print each function's DS graph.")
+  in
+  let go name scale dump =
+    let prog = build_workload name scale in
+    let scope = Dpmr_dsa.Scope.compute prog in
+    Printf.printf "%-16s %s\n" "function" "excluded DS nodes";
+    Dpmr_ir.Prog.iter_funcs prog (fun f ->
+        let fname = f.Dpmr_ir.Func.name in
+        Printf.printf "%-16s %14.0f%%\n" fname
+          (100.0 *. Dpmr_dsa.Scope.exclusion_ratio scope fname));
+    if dump then begin
+      let summary = Dpmr_dsa.Interproc.analyze prog in
+      Dpmr_ir.Prog.iter_funcs prog (fun f ->
+          let fname = f.Dpmr_ir.Func.name in
+          match Hashtbl.find_opt summary.Dpmr_dsa.Interproc.results fname with
+          | Some res ->
+              Printf.printf "\nDS graph for %s:\n" fname;
+              Fmt.pr "%a@." Dpmr_dsa.Graph.pp res.Dpmr_dsa.Local.graph
+          | None -> ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "dsa" ~doc:"Run Data Structure Analysis and print exclusion ratios.")
+    Term.(const go $ workload_t $ scale_t $ dump_t)
+
+let recover_cmd =
+  let kind_t =
+    let kind_conv =
+      Arg.enum [ ("resize", Inject.Heap_array_resize 50); ("free", Inject.Immediate_free) ]
+    in
+    Arg.(value & opt kind_conv (Inject.Heap_array_resize 50) & info [ "kind" ] ~doc:"resize | free.")
+  in
+  let site_t = Arg.(value & opt int 0 & info [ "site" ] ~docv:"N" ~doc:"Site index.") in
+  let go name scale seed mode diversity policy kind site_idx =
+    let wk = Experiment.workload name (fun () -> build_workload name scale) in
+    let e = Experiment.make ~seed wk in
+    match List.nth_opt (Experiment.sites e kind) site_idx with
+    | None -> Printf.eprintf "no such site\n"
+    | Some site ->
+        let injected = Dpmr_fi.Inject.apply e.Experiment.base kind site in
+        let cfg = { Config.mode; diversity; policy; seed } in
+        let res =
+          Dpmr_core.Rx.run_with_recovery ~budget:e.Experiment.budget cfg injected
+            ~escalation:[ 8; 64; 1024; 8192 ]
+        in
+        Printf.printf "first run : %s\n"
+          (Outcome.to_string res.Dpmr_core.Rx.first.Outcome.outcome);
+        Printf.printf "attempts  : %d\n" res.Dpmr_core.Rx.attempts;
+        (match res.Dpmr_core.Rx.recovered_with with
+        | Some pad -> Printf.printf "recovered : yes, with %d-byte padding\n" pad
+        | None -> Printf.printf "recovered : no\n");
+        Printf.printf "final     : %s\n"
+          (Outcome.to_string res.Dpmr_core.Rx.final.Outcome.outcome)
+  in
+  Cmd.v
+    (Cmd.info "recover" ~doc:"Inject a fault, detect it with DPMR, recover Rx-style.")
+    Term.(
+      const go $ workload_t $ scale_t $ seed_t $ mode_t $ diversity_t $ policy_t $ kind_t
+      $ site_t)
+
+let report_cmd =
+  let id_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID|all") in
+  let reps_t =
+    Arg.(value & opt int 1 & info [ "reps" ] ~docv:"N"
+           ~doc:"Repetitions per injection with distinct seeds (the RN dimension).")
+  in
+  let go id scale seed reps =
+    let ctx = Figures.create ~scale ~seed ~reps () in
+    if id = "all" then Figures.run_all ctx
+    else if List.mem id Figures.ids then Figures.run ctx id
+    else die "unknown experiment %S (see 'dpmr list')" id
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate a paper table/figure (or 'all').")
+    Term.(const go $ id_t $ scale_t $ seed_t $ reps_t)
+
+let list_cmd =
+  let go () =
+    print_endline "workloads:";
+    List.iter
+      (fun (e : Workloads.entry) ->
+        Printf.printf "  %-8s %s\n" e.Workloads.name e.Workloads.description)
+      Workloads.all;
+    print_endline "experiments:";
+    List.iter
+      (fun (id, desc, _) -> Printf.printf "  %-12s %s\n" id desc)
+      Figures.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and experiment ids.") Term.(const go $ const ())
+
+let () =
+  let info = Cmd.info "dpmr" ~doc:"Diverse Partial Memory Replication reproduction." in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; transform_cmd; sites_cmd; inject_cmd; dsa_cmd; recover_cmd; dump_cmd; runfile_cmd; report_cmd; list_cmd ]))

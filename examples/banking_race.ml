@@ -1,0 +1,61 @@
+(* Figure 1.2: Diverse Partial Replication applied to a race condition.
+
+     dune exec examples/banking_race.exe
+
+   DPMR is one instance of the broader DPR family (§1.2): replicate the
+   part of the system the fault model touches, diversify the replica, and
+   compare.  This example realizes the dissertation's banking scenario:
+   requests to the same account must be processed in arrival order; a
+   faulty implementation lets worker threads race.  The partial replica is
+   the account state plus the threaded execution, and the diversity
+   transformation is a *diversified scheduler* — if a racy interleaving
+   changes the outcome, the two executions' balances disagree.
+
+   (This demo is plain OCaml rather than IR: the point is the DPR recipe,
+   not the memory-error machinery.) *)
+
+type request = Deposit of int | Withdraw of int
+
+(* The faulty banking system: two workers pull from a shared queue; the
+   scheduler decides who runs next.  Overdrawn accounts pay a $15 fee. *)
+let run_system ~schedule requests =
+  let balance = ref 100 in
+  let queue = Queue.of_seq (List.to_seq requests) in
+  let workers = Array.make 2 None in
+  let step worker =
+    match workers.(worker) with
+    | Some r ->
+        (* finish the in-flight request *)
+        (match r with
+        | Deposit a -> balance := !balance + a
+        | Withdraw a ->
+            balance := !balance - a;
+            if !balance < 0 then balance := !balance - 15);
+        workers.(worker) <- None
+    | None -> if not (Queue.is_empty queue) then workers.(worker) <- Some (Queue.pop queue)
+  in
+  List.iter step schedule;
+  (* drain *)
+  for w = 0 to 1 do
+    step w;
+    step w
+  done;
+  !balance
+
+let () =
+  let requests = [ Deposit 200; Withdraw 250 ] in
+  (* Original faulty execution: worker 1 grabs X (the deposit) but worker 2
+     completes Y (the withdrawal) first — the out-of-order interleaving of
+     Figure 1.2(a).  Withdrawing 250 from 100 overdraws: $15 penalty. *)
+  let original = run_system ~schedule:[ 0; 1; 1; 0 ] requests in
+  (* Diverse replica execution: the diversified scheduler runs each worker
+     to completion before the next dispatch — Figure 1.2(b)'s order. *)
+  let replica = run_system ~schedule:[ 0; 0; 1; 1 ] requests in
+  Printf.printf "original execution balance : $%d\n" original;
+  Printf.printf "diverse replica balance    : $%d\n" replica;
+  if original <> replica then
+    print_endline
+      "MISMATCH: the race manifested differently under the diversified\n\
+       scheduler — DPR detects the ordering violation."
+  else print_endline "balances agree: no race observed";
+  assert (original <> replica)

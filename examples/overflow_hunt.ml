@@ -1,0 +1,38 @@
+(* Overflow hunt: the debugging-environment use case of §1.3.
+
+     dune exec examples/overflow_hunt.exe
+
+   Sweeps every heap allocation site of the bzip2 workload with
+   heap-array-resize and immediate-free injections, and prints a per-site
+   report of what the plain build does versus what DPMR detects. *)
+
+module Config = Dpmr_core.Config
+module Experiment = Dpmr_fi.Experiment
+module Inject = Dpmr_fi.Inject
+module Workloads = Dpmr_workloads.Workloads
+
+let describe (c : Experiment.classification) =
+  if not c.Experiment.sf then "injection never executed"
+  else if c.Experiment.co then "correct output"
+  else if c.Experiment.ddet then "DPMR DETECTION"
+  else if c.Experiment.ndet then "natural detection (crash/exit)"
+  else if c.Experiment.timeout then "timeout"
+  else "SILENT CORRUPTION"
+
+let () =
+  let entry = Workloads.find "bzip2" in
+  let wk = Experiment.workload "bzip2" (fun () -> entry.Workloads.build ()) in
+  let e = Experiment.make wk in
+  let cfg = { Config.default with Config.diversity = Config.Rearrange_heap } in
+  List.iter
+    (fun kind ->
+      Printf.printf "\n== %s ==\n" (Inject.kind_name kind);
+      Printf.printf "%-28s %-34s %s\n" "site" "plain build" "dpmr build";
+      List.iter
+        (fun site ->
+          let plain = Experiment.run_variant e (Experiment.Fi_stdapp (kind, site)) in
+          let dpmr = Experiment.run_variant e (Experiment.Fi_dpmr (cfg, kind, site)) in
+          Printf.printf "%-28s %-34s %s\n" (Inject.site_name site) (describe plain)
+            (describe dpmr))
+        (Experiment.sites e kind))
+    [ Inject.Heap_array_resize 50; Inject.Immediate_free ]

@@ -1,0 +1,82 @@
+(* Quickstart: build a program with the IR builder, run it, transform it
+   with DPMR, and watch a buffer overflow get caught.
+
+     dune exec examples/quickstart.exe
+
+   The program builds a linked list of squares and sums it.  The faulty
+   variant under-allocates a scratch array and overflows it — silently
+   corrupting memory in the plain build, detected by a DPMR load check in
+   the instrumented build. *)
+
+open Dpmr_ir
+open Types
+open Inst
+module B = Builder
+module Config = Dpmr_core.Config
+module Dpmr = Dpmr_core.Dpmr
+module Outcome = Dpmr_vm.Outcome
+
+(* A linked list of the squares 1..n, plus a scratch array the faulty
+   variant under-allocates. *)
+let build ~buggy =
+  let p = Prog.create () in
+  Dpmr_vm.Extern.declare_signatures p;
+  Tenv.define_struct p.Prog.tenv "Node" [ i64; Ptr (Struct "Node") ];
+  let node = Struct "Node" in
+  let b = B.create p ~name:"main" ~params:[] ~ret:i32 () in
+  let n = 10 in
+  (* scratch array: the bug requests half the needed space *)
+  let scratch_len = if buggy then n / 2 else n in
+  let scratch = B.malloc b ~name:"scratch" ~count:(B.i64c scratch_len) i64 in
+  let head = B.local b ~name:"head" (Ptr node) (B.null node) in
+  B.for_ b ~from:(B.i64c 1) ~below:(B.i64c (n + 1)) (fun i ->
+      let sq = B.mul b W64 i i in
+      (* stash the square in scratch (overflows when buggy) ... *)
+      let slot = B.gep_index b scratch (B.sub b W64 i (B.i64c 1)) in
+      B.store b i64 sq slot;
+      (* ... and prepend a list node holding it *)
+      let nd = B.malloc b node in
+      B.store b i64 sq (B.gep_field b nd 0);
+      B.store b (Ptr node) (B.get b (Ptr node) head) (B.gep_field b nd 1);
+      B.set b (Ptr node) head nd);
+  (* sum the list *)
+  let sum = B.local b ~name:"sum" i64 (B.i64c 0) in
+  let cur = B.local b ~name:"cur" (Ptr node) (B.get b (Ptr node) head) in
+  B.while_ b
+    (fun () ->
+      let c = B.get b (Ptr node) cur in
+      B.icmp b Ine W64 (B.ptr_to_int b c) (B.i64c 0))
+    (fun () ->
+      let c = B.get b (Ptr node) cur in
+      let v = B.load b i64 (B.gep_field b c 0) in
+      B.set b i64 sum (B.add b W64 (B.get b i64 sum) v);
+      B.set b (Ptr node) cur (B.load b (Ptr node) (B.gep_field b c 1)));
+  B.call0 b (Direct "print_str")
+    [ B.bitcast b (Ptr (arr i8 0)) (B.global b ~name:"msg" (arr i8 16) (Prog.Gstring "sum=")) ];
+  B.call0 b (Direct "print_int") [ B.get b i64 sum ];
+  B.call0 b (Direct "print_newline") [];
+  B.ret b (Some (B.i32c 0));
+  p
+
+let show tag (r : Outcome.run) =
+  Printf.printf "%-28s %-22s %s\n" tag
+    (Outcome.to_string r.Outcome.outcome)
+    (String.concat "\\n" (String.split_on_char '\n' (String.trim r.Outcome.output)))
+
+let () =
+  print_endline "— clean program —";
+  let clean = build ~buggy:false in
+  show "plain" (Dpmr.run_plain clean);
+  let cfg = { Config.default with Config.diversity = Config.Rearrange_heap } in
+  show "dpmr (sds, rearrange-heap)" (Dpmr.run_dpmr cfg clean);
+
+  print_endline "\n— buggy program (scratch array under-allocated) —";
+  let buggy = build ~buggy:true in
+  show "plain" (Dpmr.run_plain buggy);
+  show "dpmr (sds, rearrange-heap)" (Dpmr.run_dpmr cfg buggy);
+  print_endline
+    "\nThe plain build corrupts neighbouring heap objects and fails far\n\
+     from the bug (here, a wild-pointer crash during list traversal —\n\
+     the overflow overwrote a node's next pointer with the square 100).\n\
+     The DPMR build aborts at the first load whose replica disagrees,\n\
+     right where the corruption becomes visible."

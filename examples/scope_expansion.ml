@@ -1,0 +1,94 @@
+(* Chapter 5 scope expansion: programs MDS alone must reject — here an
+   XOR-linked list, the classic pointers-masquerading-as-integers data
+   structure — run under DPMR anyway, with DSA refining the partial
+   replica around the unanalyzable memory.
+
+     dune exec examples/scope_expansion.exe *)
+
+open Dpmr_ir
+open Types
+open Inst
+module B = Builder
+module Config = Dpmr_core.Config
+module Dpmr = Dpmr_core.Dpmr
+module Outcome = Dpmr_vm.Outcome
+module Scope = Dpmr_dsa.Scope
+
+(* An XOR-linked list stores prev XOR next as an integer — int-to-pointer
+   casts are unavoidable when traversing.  Alongside it, a perfectly
+   ordinary array keeps full DPMR protection. *)
+let build () =
+  let p = Prog.create () in
+  Dpmr_vm.Extern.declare_signatures p;
+  Tenv.define_struct p.Prog.tenv "XNode" [ i64; i64 ] (* value, link = prev^next *);
+  let xnode = Struct "XNode" in
+  let b = B.create p ~name:"main" ~params:[] ~ret:i32 () in
+  (* build 5 nodes, linking as we go *)
+  let n = 5 in
+  let prev = B.local b ~name:"prev" i64 (B.i64c 0) in
+  let head = B.local b ~name:"head" i64 (B.i64c 0) in
+  B.for_ b ~from:(B.i64c 1) ~below:(B.i64c (n + 1)) (fun i ->
+      let nd = B.malloc b xnode in
+      B.store b i64 (B.mul b W64 i (B.i64c 7)) (B.gep_field b nd 0);
+      let addr = B.ptr_to_int b nd in
+      (* link of the new node starts as just prev (next unknown yet) *)
+      B.store b i64 (B.get b i64 prev) (B.gep_field b nd 1);
+      (* fix up the previous node's link: link ^= addr *)
+      let pv = B.get b i64 prev in
+      let has_prev = B.icmp b Ine W64 pv (B.i64c 0) in
+      B.if_ b has_prev (fun () ->
+          let pnode = B.int_to_ptr b (Ptr xnode) pv in
+          let lslot = B.gep_field b pnode 1 in
+          let old = B.load b i64 lslot in
+          B.store b i64 (B.binop b Xor W64 old addr) lslot);
+      let is_first = B.icmp b Ieq W64 pv (B.i64c 0) in
+      B.if_ b is_first (fun () -> B.set b i64 head addr);
+      B.set b i64 prev addr);
+  (* traverse: sum values *)
+  let sum = B.local b ~name:"sum" i64 (B.i64c 0) in
+  let cur = B.local b ~name:"cur" i64 (B.get b i64 head) in
+  let back = B.local b ~name:"back" i64 (B.i64c 0) in
+  B.while_ b
+    (fun () -> B.icmp b Ine W64 (B.get b i64 cur) (B.i64c 0))
+    (fun () ->
+      let c = B.get b i64 cur in
+      let nd = B.int_to_ptr b (Ptr xnode) c in
+      let v = B.load b i64 (B.gep_field b nd 0) in
+      B.set b i64 sum (B.add b W64 (B.get b i64 sum) v);
+      let link = B.load b i64 (B.gep_field b nd 1) in
+      let nxt = B.binop b Xor W64 link (B.get b i64 back) in
+      B.set b i64 back c;
+      B.set b i64 cur nxt);
+  (* the ordinary, fully protected array *)
+  let arr_ = B.malloc b ~name:"plainarr" ~count:(B.i64c 8) i64 in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c 8) (fun i ->
+      B.store b i64 (B.mul b W64 i i) (B.gep_index b arr_ i));
+  let s2 = B.local b ~name:"s2" i64 (B.i64c 0) in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c 8) (fun i ->
+      let v = B.load b i64 (B.gep_index b arr_ i) in
+      B.set b i64 s2 (B.add b W64 (B.get b i64 s2) v));
+  B.call0 b (Direct "print_int") [ B.get b i64 sum ];
+  B.call0 b (Direct "putchar") [ B.i32c 32 ];
+  B.call0 b (Direct "print_int") [ B.get b i64 s2 ];
+  B.call0 b (Direct "print_newline") [];
+  B.ret b (Some (B.i32c 0));
+  p
+
+let () =
+  let p = build () in
+  let golden = Dpmr.run_plain p in
+  Printf.printf "plain       : %s %s" (Outcome.to_string golden.Outcome.outcome)
+    golden.Outcome.output;
+  (* MDS alone rejects the int-to-pointer casts *)
+  (try ignore (Dpmr.transform { Config.default with Config.mode = Config.Mds } p)
+   with Dpmr.Unsupported msg -> Printf.printf "mds alone   : rejected (%s)\n" msg);
+  (* DSA + MDS: the XOR list is refined out of the replica, the array keeps
+     full protection *)
+  let cfg = { Config.default with Config.mode = Config.Mds } in
+  let tp, scope = Dpmr_dsa.Dsa_dpmr.transform_with_scope cfg p in
+  let vm = Dpmr.vm_dpmr ~mode:Config.Mds tp in
+  let r = Dpmr_vm.Vm.run vm in
+  Printf.printf "mds + dsa   : %s %s" (Outcome.to_string r.Outcome.outcome) r.Outcome.output;
+  Printf.printf "exclusion   : %.0f%% of main's DS nodes left unreplicated\n"
+    (100.0 *. Scope.exclusion_ratio scope "main");
+  assert (r.Outcome.output = golden.Outcome.output)

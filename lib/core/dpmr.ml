@@ -1,0 +1,35 @@
+(** Top-level DPMR driver: transform a program and run it with the full
+    runtime (base libc + external function wrappers) registered. *)
+
+module Vm = Dpmr_vm.Vm
+module Extern = Dpmr_vm.Extern
+module Outcome = Dpmr_vm.Outcome
+
+exception Unsupported = Transform.Unsupported
+
+(** [transform cfg prog] returns the DPMR-instrumented program; [prog] is
+    not modified. *)
+let transform = Transform.transform
+
+(** Create a VM for an *untransformed* program (golden / fi-stdapp). *)
+let vm_plain ?seed ?budget prog =
+  let vm = Vm.create ?seed ?budget prog in
+  Extern.register_base vm;
+  vm
+
+(** Create a VM for a *transformed* program: base externs plus the
+    external function wrappers for the given design. *)
+let vm_dpmr ?seed ?budget ~mode prog =
+  let vm = Vm.create ?seed ?budget prog in
+  Extern.register_base vm;
+  Ext_wrappers.register ~mode vm;
+  vm
+
+(** Convenience: run [prog] untransformed. *)
+let run_plain ?seed ?budget ?args prog =
+  Vm.run ?args (vm_plain ?seed ?budget prog)
+
+(** Convenience: transform [prog] under [cfg] and run it. *)
+let run_dpmr ?seed ?budget ?args (cfg : Config.t) prog =
+  let tp = transform cfg prog in
+  Vm.run ?args (vm_dpmr ?seed ?budget ~mode:cfg.Config.mode tp)

@@ -1,0 +1,29 @@
+(** Top-level DPMR driver: transform a program and run it with the full
+    runtime (base mini-libc + external function wrappers) registered. *)
+
+open Dpmr_ir
+module Vm = Dpmr_vm.Vm
+module Extern = Dpmr_vm.Extern
+module Outcome = Dpmr_vm.Outcome
+
+exception Unsupported of string
+
+(** [transform cfg prog] returns the DPMR-instrumented program; [prog]
+    is not modified. *)
+val transform :
+  ?excluded:(string -> Inst.reg -> bool) -> Config.t -> Prog.t -> Prog.t
+
+(** VM for an untransformed program (golden / fi-stdapp builds). *)
+val vm_plain : ?seed:int64 -> ?budget:int64 -> Prog.t -> Vm.t
+
+(** VM for a transformed program: base externs plus the design's external
+    function wrappers. *)
+val vm_dpmr : ?seed:int64 -> ?budget:int64 -> mode:Config.mode -> Prog.t -> Vm.t
+
+(** Run a program untransformed. *)
+val run_plain :
+  ?seed:int64 -> ?budget:int64 -> ?args:string list -> Prog.t -> Outcome.run
+
+(** Transform under a configuration, then run. *)
+val run_dpmr :
+  ?seed:int64 -> ?budget:int64 -> ?args:string list -> Config.t -> Prog.t -> Outcome.run

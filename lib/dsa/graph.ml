@@ -1,0 +1,278 @@
+(** DS graphs: the data structure of Data Structure Analysis (§5.1).
+
+    A DS node represents a set of memory objects; nodes carry the flag set
+    of §5.1 (complete/incomplete, H/S/G memory segments, Array, cOllapsed,
+    Pointer-to-int, int-2-pointer, Unknown), a type-homogeneity map of
+    field cells, and per-field outgoing edges.  Unification (node merging)
+    uses union-find; merging nodes merges their field maps, and a
+    type-inhomogeneous use collapses a node's fields into a single cell
+    (the O flag), as in Lattner's analysis. *)
+
+open Dpmr_ir
+open Types
+
+type flag =
+  | Complete
+  | Heap
+  | Stack
+  | Global_mem
+  | Array
+  | Collapsed
+  | Ptr_to_int_f  (** P: the node's address was observed as an integer *)
+  | Int_to_ptr_f  (** 2: the node was manufactured from an integer *)
+  | Unknown  (** U: allocation source unrecognized *)
+  | X  (** exclusion mark of the Figure 5.7 markX algorithm *)
+
+module FlagSet = Set.Make (struct
+  type t = flag
+
+  let compare = compare
+end)
+
+type node = {
+  id : int;
+  mutable parent : node option;  (** union-find *)
+  mutable flags : FlagSet.t;
+  mutable globals : string list;  (** global variables/functions represented *)
+  mutable cells : (int, cell) Hashtbl.t;  (** field offset -> cell *)
+}
+
+and cell = { mutable cty : ty option; mutable target : (node * int) option }
+
+type t = {
+  mutable nodes : node list;
+  mutable next_id : int;
+  regs : (Inst.reg, node * int) Hashtbl.t;  (** virtual register -> node+offset *)
+  global_nodes : (string, node) Hashtbl.t;
+  mutable ret : (node * int) option;
+  mutable calls : call_site list;
+}
+
+and call_site = {
+  callee : callee_info;
+  args : (node * int) option list;  (** pointer args only; None for scalars *)
+  cs_ret : (node * int) option;
+}
+
+and callee_info = Known of string | Through of node
+
+let create () =
+  {
+    nodes = [];
+    next_id = 0;
+    regs = Hashtbl.create 32;
+    global_nodes = Hashtbl.create 8;
+    ret = None;
+    calls = [];
+  }
+
+let fresh_node g ?(flags = []) () =
+  let n =
+    {
+      id = g.next_id;
+      parent = None;
+      flags = FlagSet.of_list flags;
+      globals = [];
+      cells = Hashtbl.create 4;
+    }
+  in
+  g.next_id <- g.next_id + 1;
+  g.nodes <- n :: g.nodes;
+  n
+
+(** Union-find representative, with path compression. *)
+let rec find n =
+  match n.parent with
+  | None -> n
+  | Some p ->
+      let r = find p in
+      if r != p then n.parent <- Some r;
+      r
+
+let has_flag n f = FlagSet.mem f (find n).flags
+let add_flag n f = (find n).flags <- FlagSet.add f (find n).flags
+
+let is_complete n = has_flag n Complete
+let is_collapsed n = has_flag n Collapsed
+
+let cell_at n off =
+  let n = find n in
+  let off = if is_collapsed n then 0 else off in
+  match Hashtbl.find_opt n.cells off with
+  | Some c -> c
+  | None ->
+      let c = { cty = None; target = None } in
+      Hashtbl.replace n.cells off c;
+      c
+
+(** Collapse a node: all fields merge into one cell at offset 0; the node
+    becomes a byte array (O + A flags, §5.1). *)
+let rec collapse n =
+  let n = find n in
+  if not (is_collapsed n) then begin
+    n.flags <- FlagSet.add Collapsed (FlagSet.add Array n.flags);
+    let cells = Hashtbl.fold (fun off c acc -> (off, c) :: acc) n.cells [] in
+    Hashtbl.reset n.cells;
+    let merged = { cty = Some (arr i8 0); target = None } in
+    Hashtbl.replace n.cells 0 merged;
+    List.iter
+      (fun (_, c) ->
+        match c.target with
+        | None -> ()
+        | Some (t, toff) -> (
+            match merged.target with
+            | None -> merged.target <- Some (find t, toff)
+            | Some (t0, _) -> unify t0 t))
+      cells
+  end
+
+(** Unify two nodes (and, recursively, the targets of matching fields). *)
+and unify a b =
+  let a = find a and b = find b in
+  if a != b then begin
+    (* collapsed-ness is contagious *)
+    if is_collapsed a && not (is_collapsed b) then collapse b;
+    if is_collapsed b && not (is_collapsed a) then collapse a;
+    b.parent <- Some a;
+    a.flags <- FlagSet.union a.flags b.flags;
+    a.globals <- List.sort_uniq compare (a.globals @ b.globals);
+    let bcells = Hashtbl.fold (fun off c acc -> (off, c) :: acc) b.cells [] in
+    Hashtbl.reset b.cells;
+    List.iter
+      (fun (off, (c : cell)) ->
+        let dst = cell_at a off in
+        (match (dst.cty, c.cty) with
+        | None, t -> dst.cty <- t
+        | Some t1, Some t2 when t1 <> t2 ->
+            (* type-inhomogeneous overlap: collapse *)
+            if not (is_collapsed a) then collapse a
+        | _ -> ());
+        match (dst.target, c.target) with
+        | None, t -> dst.target <- t
+        | Some (t1, _), Some (t2, _) -> unify t1 t2
+        | _, None -> ())
+      bcells
+  end
+
+(** Record that [scalar_ty] is accessed at [off] of [n]; a conflicting
+    scalar type at the same offset collapses the node. *)
+let access n off scalar_ty =
+  let n = find n in
+  let c = cell_at n off in
+  match c.cty with
+  | None -> c.cty <- Some scalar_ty
+  | Some t when t = scalar_ty -> ()
+  | Some (Ptr _) when is_pointer scalar_ty ->
+      () (* imprecisely typed pointers do not break homogeneity *)
+  | Some _ -> collapse n
+
+(** The points-to target of field [off] of [n], created on demand. *)
+let target_of g n off =
+  let c = cell_at n off in
+  match c.target with
+  | Some (t, toff) -> (find t, toff)
+  | None ->
+      let t = fresh_node g () in
+      c.target <- Some (t, 0);
+      (t, 0)
+
+let set_target n off (t, toff) =
+  let c = cell_at n off in
+  match c.target with
+  | None -> c.target <- Some (t, toff)
+  | Some (t0, _) -> unify t0 t
+
+(* ---- register bindings ---- *)
+
+let reg_node g r =
+  match Hashtbl.find_opt g.regs r with
+  | Some (n, off) -> Some (find n, off)
+  | None -> None
+
+let bind_reg g r (n, off) = Hashtbl.replace g.regs r (n, off)
+
+let global_node g name ~is_fun =
+  match Hashtbl.find_opt g.global_nodes name with
+  | Some n -> find n
+  | None ->
+      let n = fresh_node g ~flags:[ Global_mem ] () in
+      n.globals <- [ name ];
+      ignore is_fun;
+      Hashtbl.replace g.global_nodes name n;
+      n
+
+(* ---- queries and reachability ---- *)
+
+let reachable_from start =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    let n = find n in
+    if not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.add seen n.id ();
+      Hashtbl.iter
+        (fun _ c -> match c.target with Some (t, _) -> go t | None -> ())
+        n.cells
+    end
+  in
+  go start;
+  seen
+
+(** Distinct representative nodes of the graph. *)
+let all_nodes g =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      let r = find n in
+      if Hashtbl.mem seen r.id then false
+      else begin
+        Hashtbl.add seen r.id ();
+        r == n || true
+      end)
+    (List.map find g.nodes)
+
+let flag_to_string = function
+  | Complete -> "C"
+  | Heap -> "H"
+  | Stack -> "S"
+  | Global_mem -> "G"
+  | Array -> "A"
+  | Collapsed -> "O"
+  | Ptr_to_int_f -> "P"
+  | Int_to_ptr_f -> "2"
+  | Unknown -> "U"
+  | X -> "X"
+
+let flags_to_string n =
+  String.concat "" (List.map flag_to_string (FlagSet.elements (find n).flags))
+
+(** Render a DS graph in the style of the dissertation's DS-graph figures
+    (5.5/5.6): one line per node with flags, globals and field edges. *)
+let pp ppf g =
+  let nodes =
+    List.sort (fun a b -> compare a.id b.id) (all_nodes g)
+  in
+  List.iter
+    (fun n ->
+      let n = find n in
+      Fmt.pf ppf "  n%d [%s]" n.id (flags_to_string n);
+      if n.globals <> [] then
+        Fmt.pf ppf " globals={%s}" (String.concat "," n.globals);
+      let cells =
+        List.sort compare (Hashtbl.fold (fun off c acc -> (off, c) :: acc) n.cells [])
+      in
+      List.iter
+        (fun (off, (c : cell)) ->
+          match c.target with
+          | Some (t, toff) -> Fmt.pf ppf " +%d->n%d+%d" off (find t).id toff
+          | None -> (
+              match c.cty with
+              | Some ty -> Fmt.pf ppf " +%d:%s" off (Dpmr_ir.Types.to_string ty)
+              | None -> ()))
+        cells;
+      Fmt.pf ppf "@\n")
+    nodes;
+  (* register bindings, deterministically ordered *)
+  let regs =
+    List.sort compare (Hashtbl.fold (fun r (n, off) acc -> (r, (find n).id, off) :: acc) g.regs [])
+  in
+  List.iter (fun (r, nid, off) -> Fmt.pf ppf "  %%r%d -> n%d+%d@\n" r nid off) regs

@@ -1,0 +1,96 @@
+(** DS graphs: the data structure of Data Structure Analysis (§5.1).
+
+    A DS node represents a set of memory objects and carries the §5.1
+    flag set (complete/incomplete, H/S/G memory segments, Array,
+    cOllapsed, Ptr-to-int, int-2-ptr, Unknown, plus the markX exclusion
+    flag), a type-homogeneity map of field cells, and per-field outgoing
+    edges.  Unification uses union-find; a type-inhomogeneous use
+    collapses a node's fields into one cell. *)
+
+open Dpmr_ir
+open Types
+
+type flag =
+  | Complete
+  | Heap
+  | Stack
+  | Global_mem
+  | Array
+  | Collapsed
+  | Ptr_to_int_f  (** P: the node's address was observed as an integer *)
+  | Int_to_ptr_f  (** 2: the node was manufactured from an integer *)
+  | Unknown  (** U: allocation source unrecognized *)
+  | X  (** exclusion mark of the Figure 5.7 markX algorithm *)
+
+module FlagSet : Set.S with type elt = flag
+
+type node = {
+  id : int;
+  mutable parent : node option;  (** union-find *)
+  mutable flags : FlagSet.t;
+  mutable globals : string list;
+  mutable cells : (int, cell) Hashtbl.t;  (** field offset -> cell *)
+}
+
+and cell = { mutable cty : ty option; mutable target : (node * int) option }
+
+type t = {
+  mutable nodes : node list;
+  mutable next_id : int;
+  regs : (Inst.reg, node * int) Hashtbl.t;
+  global_nodes : (string, node) Hashtbl.t;
+  mutable ret : (node * int) option;
+  mutable calls : call_site list;
+}
+
+and call_site = {
+  callee : callee_info;
+  args : (node * int) option list;  (** None for scalar arguments *)
+  cs_ret : (node * int) option;
+}
+
+and callee_info = Known of string | Through of node
+
+val create : unit -> t
+val fresh_node : t -> ?flags:flag list -> unit -> node
+
+(** Union-find representative (path-compressing). *)
+val find : node -> node
+
+val has_flag : node -> flag -> bool
+val add_flag : node -> flag -> unit
+val is_complete : node -> bool
+val is_collapsed : node -> bool
+
+val cell_at : node -> int -> cell
+
+(** Collapse all fields into one cell at offset 0 (the O flag). *)
+val collapse : node -> unit
+
+(** Unify two nodes and, recursively, the targets of matching fields. *)
+val unify : node -> node -> unit
+
+(** Record a scalar access at an offset; conflicting types collapse. *)
+val access : node -> int -> ty -> unit
+
+(** Points-to target of a field, created on demand. *)
+val target_of : t -> node -> int -> node * int
+
+val set_target : node -> int -> node * int -> unit
+
+val reg_node : t -> Inst.reg -> (node * int) option
+val bind_reg : t -> Inst.reg -> node * int -> unit
+val global_node : t -> string -> is_fun:bool -> node
+
+(** Ids of nodes reachable from a start node through field edges. *)
+val reachable_from : node -> (int, unit) Hashtbl.t
+
+(** Distinct representative nodes. *)
+val all_nodes : t -> node list
+
+val flag_to_string : flag -> string
+val flags_to_string : node -> string
+
+(** Render the graph in the style of the dissertation's DS-graph figures
+    (5.5/5.6). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,237 @@
+(** Bottom-up and top-down phases of Data Structure Analysis (§5.1).
+
+    Bottom-up clones callee graphs into callers (callees first, in
+    topological order of the direct call graph), unifying formal-argument
+    clones with call-site actuals.  Top-down then propagates caller-side
+    behaviour flags (U/2/O/P, memory segments, X) down into callee
+    formals, callers first.  Calls inside a call-graph cycle are handled
+    conservatively: the participating argument/return nodes stay
+    incomplete and receive the Unknown flag, which the Chapter 5 scope
+    expansion treats as "unknown DSA behaviour" (§5.5). *)
+
+open Dpmr_ir
+
+type summary = {
+  results : (string, Local.result) Hashtbl.t;
+  order : string list;  (** reverse-topological (callees first) *)
+  in_cycle : (string, unit) Hashtbl.t;
+}
+
+(* --- call graph & SCC-lite: iterative DFS detecting back edges --- *)
+
+let direct_callees (prog : Prog.t) (f : Func.t) =
+  let acc = ref [] in
+  Func.iter_insts f (fun _ inst ->
+      match inst with
+      | Inst.Call (_, Inst.Direct n, _) when Prog.has_func prog n -> acc := n :: !acc
+      | _ -> ());
+  List.sort_uniq compare !acc
+
+let topo_order prog =
+  let visited = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let in_cycle = Hashtbl.create 4 in
+  let order = ref [] in
+  let rec visit name =
+    if Hashtbl.mem on_stack name then Hashtbl.replace in_cycle name ()
+    else if not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name ();
+      Hashtbl.replace on_stack name ();
+      List.iter visit (direct_callees prog (Prog.func prog name));
+      Hashtbl.remove on_stack name;
+      order := name :: !order
+    end
+  in
+  Prog.iter_funcs prog (fun f -> visit f.Func.name);
+  (* !order is callers-first; reverse for callees-first *)
+  (List.rev !order, in_cycle)
+
+(* --- graph cloning (for bottom-up inlining) --- *)
+
+(** Clone the subgraph of [src] reachable from [roots] into [dst];
+    returns the node mapping. *)
+let clone_into (dst : Graph.t) roots =
+  let mapping = Hashtbl.create 16 in
+  let rec copy n =
+    let n = Graph.find n in
+    match Hashtbl.find_opt mapping n.Graph.id with
+    | Some n' -> n'
+    | None ->
+        let n' = Graph.fresh_node dst () in
+        Hashtbl.replace mapping n.Graph.id n';
+        n'.Graph.flags <- Graph.FlagSet.remove Graph.Complete n.Graph.flags;
+        n'.Graph.globals <- n.Graph.globals;
+        Hashtbl.iter
+          (fun off (c : Graph.cell) ->
+            let c' = Graph.cell_at n' off in
+            c'.Graph.cty <- c.Graph.cty;
+            match c.Graph.target with
+            | Some (t, toff) -> c'.Graph.target <- Some (copy t, toff)
+            | None -> ())
+          n.Graph.cells;
+        n'
+  in
+  List.iter (fun n -> ignore (copy n)) roots;
+  mapping
+
+(** Resolve a call-site's possible defined callees. *)
+let resolve_callees prog (cs : Graph.call_site) =
+  match cs.Graph.callee with
+  | Graph.Known n -> if Prog.has_func prog n then [ n ] else []
+  | Graph.Through node ->
+      (* function pointers: candidates are the functions in the node's
+         globals list *)
+      List.filter (Prog.has_func prog) (Graph.find node).Graph.globals
+
+(** Inline callee graph [callee_res] at call site [cs] of caller graph [g]. *)
+let inline_call (g : Graph.t) (callee_res : Local.result) (cs : Graph.call_site) =
+  let callee_globals =
+    Hashtbl.fold (fun name n acc -> (name, n) :: acc)
+      callee_res.Local.graph.Graph.global_nodes []
+  in
+  let roots =
+    List.filter_map (Option.map fst) callee_res.Local.formals
+    @ (match callee_res.Local.graph.Graph.ret with Some (n, _) -> [ n ] | None -> [])
+    @ List.map snd callee_globals
+    @ List.concat_map
+        (fun (inner : Graph.call_site) ->
+          List.filter_map (Option.map fst) inner.Graph.args
+          @ (match inner.Graph.cs_ret with Some (n, _) -> [ n ] | None -> []))
+        callee_res.Local.graph.Graph.calls
+  in
+  let mapping = clone_into g roots in
+  (* globals are program-wide: unify the cloned view of each global the
+     callee touches with the caller's node for the same global *)
+  List.iter
+    (fun (name, n) ->
+      match Hashtbl.find_opt mapping (Graph.find n).Graph.id with
+      | Some n' -> Graph.unify (Graph.global_node g name ~is_fun:false) n'
+      | None -> ())
+    callee_globals;
+  let mapped (n, off) =
+    match Hashtbl.find_opt mapping (Graph.find n).Graph.id with
+    | Some n' -> Some (n', off)
+    | None -> None
+  in
+  (* unify cloned formals with actuals *)
+  let rec zip formals actuals =
+    match (formals, actuals) with
+    | [], _ | _, [] -> ()
+    | fo :: fs, ao :: as_ ->
+        (match (fo, ao) with
+        | Some fb, Some (an, _) -> (
+            match mapped fb with Some (fn, _) -> Graph.unify fn an | None -> ())
+        | _ -> ());
+        zip fs as_
+  in
+  zip callee_res.Local.formals cs.Graph.args;
+  (match (callee_res.Local.graph.Graph.ret, cs.Graph.cs_ret) with
+  | Some rb, Some (rn, _) -> (
+      match mapped rb with Some (cn, _) -> Graph.unify cn rn | None -> ())
+  | _ -> ());
+  (* surface the callee's own unresolved call sites in the caller, so
+     deeper levels keep propagating *)
+  List.iter
+    (fun (inner : Graph.call_site) ->
+      let args' =
+        List.map (function Some b -> mapped b | None -> None) inner.Graph.args
+      in
+      let ret' = Option.bind inner.Graph.cs_ret mapped in
+      match inner.Graph.callee with
+      | Graph.Known _ -> () (* already folded into callee_res by its own BU pass *)
+      | Graph.Through n -> (
+          match Hashtbl.find_opt mapping (Graph.find n).Graph.id with
+          | Some n' ->
+              g.Graph.calls <-
+                { Graph.callee = Graph.Through n'; args = args'; cs_ret = ret' }
+                :: g.Graph.calls
+          | None -> ()))
+    callee_res.Local.graph.Graph.calls
+
+(* --- the passes --- *)
+
+let bottom_up prog (results : (string, Local.result) Hashtbl.t) order in_cycle =
+  List.iter
+    (fun name ->
+      let res = Hashtbl.find results name in
+      let g = res.Local.graph in
+      List.iter
+        (fun (cs : Graph.call_site) ->
+          List.iter
+            (fun callee ->
+              if Hashtbl.mem in_cycle callee || callee = name then
+                (* recursive edge: conservative — argument and return
+                   nodes become Unknown *)
+                List.iter
+                  (function
+                    | Some (n, _) -> Graph.add_flag n Graph.Unknown
+                    | None -> ())
+                  (cs.Graph.cs_ret :: cs.Graph.args)
+              else
+                match Hashtbl.find_opt results callee with
+                | Some callee_res -> inline_call g callee_res cs
+                | None -> ())
+            (resolve_callees prog cs))
+        g.Graph.calls)
+    order
+
+(* flags that flow from caller actuals into callee formals *)
+let td_flags =
+  [
+    Graph.Unknown;
+    Graph.Int_to_ptr_f;
+    Graph.Ptr_to_int_f;
+    Graph.Collapsed;
+    Graph.Heap;
+    Graph.Stack;
+    Graph.Global_mem;
+    Graph.X;
+  ]
+
+let top_down prog (results : (string, Local.result) Hashtbl.t) order =
+  (* callers first *)
+  List.iter
+    (fun name ->
+      let res = Hashtbl.find results name in
+      List.iter
+        (fun (cs : Graph.call_site) ->
+          List.iter
+            (fun callee ->
+              match Hashtbl.find_opt results callee with
+              | None -> ()
+              | Some callee_res ->
+                  let rec zip formals actuals =
+                    match (formals, actuals) with
+                    | [], _ | _, [] -> ()
+                    | fo :: fs, ao :: as_ ->
+                        (match (fo, ao) with
+                        | Some (fn, _), Some (an, _) ->
+                            List.iter
+                              (fun fl ->
+                                if Graph.has_flag an fl then begin
+                                  if fl = Graph.Collapsed then Graph.collapse fn
+                                  else Graph.add_flag fn fl
+                                end)
+                              td_flags
+                        | _ -> ());
+                        zip fs as_
+                  in
+                  zip callee_res.Local.formals cs.Graph.args)
+            (resolve_callees prog cs))
+        res.Local.graph.Graph.calls)
+    (List.rev order)
+
+(** Run all three phases over a whole program. *)
+let analyze prog : summary =
+  let results = Hashtbl.create 16 in
+  Prog.iter_funcs prog (fun f ->
+      Hashtbl.replace results f.Func.name (Local.analyze prog f));
+  let order, in_cycle = topo_order prog in
+  bottom_up prog results order in_cycle;
+  (* a fixpoint of two TD rounds covers flag flow through one level of
+     formal-to-actual chaining per round; iterate a few times *)
+  for _ = 1 to 3 do
+    top_down prog results order
+  done;
+  Hashtbl.iter (fun _ res -> Local.mark_completeness res) results;
+  { results; order; in_cycle }

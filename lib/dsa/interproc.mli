@@ -1,0 +1,28 @@
+(** Bottom-up and top-down phases of Data Structure Analysis (§5.1).
+
+    Bottom-up clones callee graphs into callers (callees first),
+    unifying formal clones with actuals and program-wide global nodes;
+    top-down propagates caller-side behaviour flags into callee formals.
+    Calls inside a call-graph cycle are handled conservatively: their
+    argument/return nodes become Unknown (§5.5). *)
+
+open Dpmr_ir
+
+type summary = {
+  results : (string, Local.result) Hashtbl.t;
+  order : string list;  (** callees first *)
+  in_cycle : (string, unit) Hashtbl.t;
+}
+
+val direct_callees : Prog.t -> Func.t -> string list
+val topo_order : Prog.t -> string list * (string, unit) Hashtbl.t
+val resolve_callees : Prog.t -> Graph.call_site -> string list
+
+val bottom_up :
+  Prog.t -> (string, Local.result) Hashtbl.t -> string list ->
+  (string, unit) Hashtbl.t -> unit
+
+val top_down : Prog.t -> (string, Local.result) Hashtbl.t -> string list -> unit
+
+(** Run all three phases over a whole program. *)
+val analyze : Prog.t -> summary

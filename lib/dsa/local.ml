@@ -1,0 +1,180 @@
+(** The local phase of Data Structure Analysis (§5.1): build a DS graph
+    for one function from its instructions alone.
+
+    Register bindings are flow-insensitive and unification-based: every
+    pointer register is bound to one (node, offset); a second definition
+    of the same register unifies the nodes.  This is the standard
+    Steensgaard-style approximation; one simplification relative to full
+    DSA is that a loop-carried rebinding at a different field offset
+    unifies at the node level (costing field precision only in that
+    case). *)
+
+open Dpmr_ir
+open Types
+open Inst
+
+type result = {
+  graph : Graph.t;
+  formals : (Graph.node * int) option list;  (** per-parameter pointer bindings *)
+  func : Func.t;
+}
+
+let op_node (g : Graph.t) (prog : Prog.t) (f : Func.t) (o : operand) =
+  match o with
+  | Reg r -> (
+      match Graph.reg_node g r with
+      | Some b -> Some b
+      | None ->
+          if is_pointer (Func.reg_ty f r) then begin
+            let n = Graph.fresh_node g () in
+            Graph.bind_reg g r (n, 0);
+            Some (n, 0)
+          end
+          else None)
+  | Global name -> Some (Graph.global_node g name ~is_fun:false, 0)
+  | Fun_addr name ->
+      let n = Graph.global_node g name ~is_fun:true in
+      ignore prog;
+      Some (n, 0)
+  | Null _ | Cint _ | Cfloat _ -> None
+
+let def_bind g r (n, off) =
+  (match Graph.reg_node g r with
+  | Some (old, _) -> Graph.unify old n
+  | None -> ());
+  Graph.bind_reg g r (Graph.find n, off)
+
+let analyze (prog : Prog.t) (f : Func.t) : result =
+  let g = Graph.create () in
+  let tenv = prog.Prog.tenv in
+  (* bind pointer formals to fresh nodes *)
+  let formals =
+    List.map
+      (fun (r, ty) ->
+        if is_pointer ty then begin
+          let n = Graph.fresh_node g () in
+          Graph.bind_reg g r (n, 0);
+          Some (n, 0)
+        end
+        else None)
+      f.Func.params
+  in
+  let use o = op_node g prog f o in
+  let use_ptr o =
+    match use o with
+    | Some b -> b
+    | None ->
+        (* e.g. an integer register used as an address after a cast the
+           verifier allowed; treat as an unknown node *)
+        (Graph.fresh_node g ~flags:[ Graph.Unknown ] (), 0)
+  in
+  Func.iter_insts f (fun _blk inst ->
+      match inst with
+      | Malloc (r, _, _) ->
+          let n = Graph.fresh_node g ~flags:[ Graph.Heap ] () in
+          def_bind g r (n, 0)
+      | Alloca (r, _, _) ->
+          let n = Graph.fresh_node g ~flags:[ Graph.Stack ] () in
+          def_bind g r (n, 0)
+      | Free p -> ignore (use p)
+      | Load (r, ty, p) ->
+          let n, off = use_ptr p in
+          Graph.access n off ty;
+          if is_pointer ty then def_bind g r (Graph.target_of g n off)
+      | Store (ty, v, p) -> (
+          let n, off = use_ptr p in
+          Graph.access n off ty;
+          if is_pointer ty then
+            match use v with
+            | Some tv -> Graph.set_target n off tv
+            | None -> () (* storing null *))
+      | Gep_field (r, sname, p, i) ->
+          let n, off = use_ptr p in
+          let foff =
+            if Graph.is_collapsed n then 0 else Layout.field_offset tenv sname i
+          in
+          def_bind g r (n, off + foff)
+      | Gep_index (r, _, p, _) ->
+          let n, off = use_ptr p in
+          Graph.add_flag n Graph.Array;
+          def_bind g r (n, off)
+      | Bitcast (r, _, p) -> def_bind g r (use_ptr p)
+      | Ptr_to_int (_, p) ->
+          let n, _ = use_ptr p in
+          Graph.add_flag n Graph.Ptr_to_int_f
+      | Int_to_ptr (r, _, _) ->
+          (* DSA does not track pointers through integers: the result is an
+             Unknown node flagged int-to-ptr (§5.1) *)
+          let n = Graph.fresh_node g ~flags:[ Graph.Unknown; Graph.Int_to_ptr_f ] () in
+          def_bind g r (n, 0)
+      | Select (r, ty, _, a, b) ->
+          if is_pointer ty then begin
+            let bind =
+              match (use a, use b) with
+              | Some (na, oa), Some (nb, _) ->
+                  Graph.unify na nb;
+                  (Graph.find na, oa)
+              | Some x, None | None, Some x -> x
+              | None, None -> (Graph.fresh_node g (), 0)
+            in
+            def_bind g r bind
+          end
+      | Call (r, callee, args) ->
+          let callee_info =
+            match callee with
+            | Direct name -> Graph.Known name
+            | Indirect o ->
+                let n, _ = use_ptr o in
+                Graph.Through n
+          in
+          let arg_nodes = List.map use args in
+          let cs_ret =
+            match r with
+            | Some rr when is_pointer (Func.reg_ty f rr) ->
+                let n = Graph.fresh_node g () in
+                def_bind g rr (n, 0);
+                Some (n, 0)
+            | _ -> None
+          in
+          g.Graph.calls <-
+            { Graph.callee = callee_info; args = arg_nodes; cs_ret } :: g.Graph.calls
+      | Binop _ | Fbinop _ | Icmp _ | Fcmp _ | Int_cast _ | F_to_i _ | I_to_f _ -> ());
+  (* return-value binding *)
+  List.iter
+    (fun (b : Func.block) ->
+      match b.Func.term with
+      | Ret (Some o) when is_pointer f.Func.ret -> (
+          match use o with
+          | Some (n, off) -> (
+              match g.Graph.ret with
+              | None -> g.Graph.ret <- Some (n, off)
+              | Some (n0, _) -> Graph.unify n0 n)
+          | None -> ())
+      | _ -> ())
+    f.Func.blocks;
+  { graph = g; formals; func = f }
+
+(** Completeness marking: a node is complete unless it is reachable from a
+    formal argument, the return value, a call site (arguments or return),
+    or a global (§5.1's escape conditions). *)
+let mark_completeness (res : result) =
+  let g = res.graph in
+  let escapes = Hashtbl.create 16 in
+  let mark_from n =
+    Hashtbl.iter (fun id () -> Hashtbl.replace escapes id ())
+      (Graph.reachable_from n)
+  in
+  List.iter (function Some (n, _) -> mark_from n | None -> ()) res.formals;
+  (match g.Graph.ret with Some (n, _) -> mark_from n | None -> ());
+  List.iter
+    (fun (cs : Graph.call_site) ->
+      List.iter (function Some (n, _) -> mark_from n | None -> ()) cs.Graph.args;
+      (match cs.Graph.cs_ret with Some (n, _) -> mark_from n | None -> ());
+      match cs.Graph.callee with Graph.Through n -> mark_from n | Graph.Known _ -> ())
+    g.Graph.calls;
+  Hashtbl.iter (fun _ n -> mark_from n) g.Graph.global_nodes;
+  List.iter
+    (fun n ->
+      let n = Graph.find n in
+      if not (Hashtbl.mem escapes n.Graph.id) then Graph.add_flag n Graph.Complete)
+    g.Graph.nodes

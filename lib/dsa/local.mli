@@ -1,0 +1,18 @@
+(** The local phase of Data Structure Analysis (§5.1): a DS graph for one
+    function from its instructions alone (flow-insensitive,
+    unification-based). *)
+
+open Dpmr_ir
+
+type result = {
+  graph : Graph.t;
+  formals : (Graph.node * int) option list;  (** per-parameter bindings *)
+  func : Func.t;
+}
+
+val analyze : Prog.t -> Func.t -> result
+
+(** Completeness marking: a node is complete unless reachable from a
+    formal, the return value, a call site, or a global (§5.1's escape
+    conditions, Figure 5.2's reachability). *)
+val mark_completeness : result -> unit

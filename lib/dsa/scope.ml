@@ -1,0 +1,117 @@
+(** Scope expansion through static analysis (Chapter 5).
+
+    MDS forbids int-to-pointer casts and assumes pointers are stored and
+    loaded as pointers.  DSA removes these blanket restrictions: instead
+    of rejecting a program, DPMR *refines its partial replica* — memory
+    whose behaviour DSA cannot vouch for (Unknown, int-to-pointer,
+    collapsed nodes; §5.2, §5.5) is simply left out of replication, and
+    accesses through it keep their original, uninstrumented behaviour
+    (§5.3's "eliminating limitations" via the second partial-replication
+    motivation of §2.1: components whose state cannot be reasoned about
+    need not be replicated).
+
+    The exclusion closure is the markX algorithm of Figure 5.7: once an
+    object is excluded, everything reachable from it must be excluded too,
+    otherwise update omissions of the Figure 5.4 kind could corrupt the
+    replica invariant. *)
+
+open Dpmr_ir
+
+type t = {
+  summary : Interproc.summary;
+  excluded : (string, (Inst.reg, bool) Hashtbl.t) Hashtbl.t;
+}
+
+(** Is [n] a seed for exclusion?  Unknown allocation sources, nodes
+    manufactured from integers, and collapsed (type-inhomogeneous) nodes
+    (§5.5); nodes whose address escaped to an integer are also excluded,
+    because a pointer masquerading as an integer could later be stored
+    through them (Figure 5.3's scenario). *)
+let is_seed n =
+  Graph.has_flag n Graph.Unknown
+  || Graph.has_flag n Graph.Int_to_ptr_f
+  || Graph.has_flag n Graph.Collapsed
+
+(** Figure 5.7's markX: flag [n] and everything reachable from it. *)
+let mark_x n =
+  let rec go n =
+    let n = Graph.find n in
+    if not (Graph.has_flag n Graph.X) then begin
+      Graph.add_flag n Graph.X;
+      Hashtbl.iter
+        (fun _ (c : Graph.cell) ->
+          match c.Graph.target with Some (t, _) -> go t | None -> ())
+        n.Graph.cells
+    end
+  in
+  go n
+
+(** Run DSA and compute per-function, per-register exclusion. *)
+let compute (prog : Prog.t) : t =
+  let summary = Interproc.analyze prog in
+  (* A pointer manufactured from an integer must be assumed to alias any
+     object whose address escaped to an integer (§5.5: unknown nodes may
+     alias even complete nodes).  Unify int-to-ptr nodes with P-flagged
+     nodes so the exclusion closure covers the plausible alias set. *)
+  Hashtbl.iter
+    (fun _ (res : Local.result) ->
+      let nodes = Graph.all_nodes res.Local.graph in
+      let manufactured =
+        List.filter (fun n -> Graph.has_flag n Graph.Int_to_ptr_f) nodes
+      in
+      let address_taken =
+        List.filter (fun n -> Graph.has_flag n Graph.Ptr_to_int_f) nodes
+      in
+      List.iter
+        (fun m -> List.iter (fun a -> Graph.unify m a) address_taken)
+        manufactured)
+    summary.Interproc.results;
+  (* seed + close within each graph *)
+  Hashtbl.iter
+    (fun _ (res : Local.result) ->
+      List.iter
+        (fun n -> if is_seed (Graph.find n) then mark_x n)
+        res.Local.graph.Graph.nodes)
+    summary.Interproc.results;
+  (* X crosses call boundaries through the top-down flag propagation; one
+     more TD round closes it, then re-close within each graph *)
+  Interproc.top_down prog summary.Interproc.results summary.Interproc.order;
+  Hashtbl.iter
+    (fun _ (res : Local.result) ->
+      List.iter
+        (fun n ->
+          let n = Graph.find n in
+          if Graph.has_flag n Graph.X then mark_x n)
+        res.Local.graph.Graph.nodes)
+    summary.Interproc.results;
+  let excluded = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name (res : Local.result) ->
+      let per_reg = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun r (n, _) -> Hashtbl.replace per_reg r (Graph.has_flag n Graph.X))
+        res.Local.graph.Graph.regs;
+      Hashtbl.replace excluded name per_reg)
+    summary.Interproc.results;
+  { summary; excluded }
+
+(** [excluded_reg t fname r]: must accesses through register [r] of
+    function [fname] be left out of replication? *)
+let excluded_reg t fname r =
+  match Hashtbl.find_opt t.excluded fname with
+  | None -> false
+  | Some per_reg -> ( match Hashtbl.find_opt per_reg r with Some b -> b | None -> false)
+
+(** Fraction of DS nodes excluded in a function — the "how much of the
+    program keeps full DPMR protection" statistic. *)
+let exclusion_ratio t fname =
+  match Hashtbl.find_opt t.summary.Interproc.results fname with
+  | None -> 0.0
+  | Some res ->
+      let nodes = Graph.all_nodes res.Local.graph in
+      let total = List.length nodes in
+      if total = 0 then 0.0
+      else
+        float_of_int
+          (List.length (List.filter (fun n -> Graph.has_flag n Graph.X) nodes))
+        /. float_of_int total

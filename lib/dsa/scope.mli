@@ -1,0 +1,30 @@
+(** Scope expansion through static analysis (Chapter 5).
+
+    Instead of rejecting programs with int-to-pointer casts or
+    type-inhomogeneous memory, DPMR {e refines its partial replica}:
+    memory whose behaviour DSA cannot vouch for is left out of
+    replication, and accesses through it keep their original behaviour
+    (§5.3, applying the second partial-replication motivation of §2.1).
+    The exclusion closure is the markX algorithm of Figure 5.7. *)
+
+open Dpmr_ir
+
+type t
+
+(** Seed predicate: Unknown, int-to-ptr, or collapsed nodes (§5.5). *)
+val is_seed : Graph.node -> bool
+
+(** Figure 5.7's markX: flag a node and everything reachable from it. *)
+val mark_x : Graph.node -> unit
+
+(** Run DSA and compute the per-function, per-register exclusion map.
+    Manufactured (int-to-ptr) nodes are first unified with address-taken
+    (P-flagged) nodes — the §5.5 "unknown nodes may alias anything"
+    conservatism restricted to the plausible alias set. *)
+val compute : Prog.t -> t
+
+(** Must accesses through this register be left out of replication? *)
+val excluded_reg : t -> string -> Inst.reg -> bool
+
+(** Fraction of a function's DS nodes excluded. *)
+val exclusion_ratio : t -> string -> float

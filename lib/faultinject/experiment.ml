@@ -1,0 +1,119 @@
+(** Experiment runner: builds variants (§3.5), runs them, and classifies
+    each run with the Table 3.2 random variables. *)
+
+open Dpmr_ir
+module Config = Dpmr_core.Config
+module Dpmr = Dpmr_core.Dpmr
+module Outcome = Dpmr_vm.Outcome
+
+type workload = {
+  name : string;
+  build : unit -> Prog.t;  (** fresh program each call; never mutated by us *)
+  args : string list;
+}
+
+let workload ?(args = [ "prog" ]) name build = { name; build; args }
+
+(** Variant classes of §3.5.  [Golden] = unmodified, standard compilation;
+    [Fi_stdapp] = fault injection only; [Nofi_dpmr] = DPMR only;
+    [Fi_dpmr] = fault injection then DPMR. *)
+type variant =
+  | Golden
+  | Fi_stdapp of Inject.kind * Inject.site
+  | Nofi_dpmr of Config.t
+  | Fi_dpmr of Config.t * Inject.kind * Inject.site
+
+(** Classification of one run (Table 3.2 / §3.6). *)
+type classification = {
+  sf : bool;  (** successful fault injection: injected code executed *)
+  co : bool;  (** correct output: output and exit match the golden run *)
+  ndet : bool;  (** natural detection: crash or error-indicating exit *)
+  ddet : bool;  (** DPMR detection *)
+  timeout : bool;
+  t2d : int64 option;  (** time to fault detection, cost units *)
+  cost : int64;
+  peak_heap : int;
+}
+
+type t = {
+  wk : workload;
+  base : Prog.t;  (** pristine program *)
+  golden : Outcome.run;  (** reference run for correct-output and budget *)
+  budget : int64;  (** ~20x the golden running time (§3.6's timeout) *)
+  seed : int64;
+}
+
+let make ?(seed = 42L) wk =
+  let base = wk.build () in
+  Verifier.check_prog base;
+  let golden = Dpmr.run_plain ~seed ~args:wk.args base in
+  if golden.Outcome.outcome <> Outcome.Normal then
+    invalid_arg
+      (Printf.sprintf "Experiment.make: golden run of %s did not exit normally (%s)"
+         wk.name
+         (Outcome.to_string golden.Outcome.outcome));
+  let budget = Int64.mul 20L (Int64.max golden.Outcome.cost 10_000L) in
+  { wk; base; golden; budget; seed }
+
+let classify t (r : Outcome.run) =
+  let co = r.Outcome.outcome = Outcome.Normal && r.Outcome.output = t.golden.Outcome.output in
+  let ndet =
+    (not co)
+    && (match r.Outcome.outcome with
+       | Outcome.Crash _ | Outcome.App_exit _ -> true
+       | Outcome.Normal | Outcome.Dpmr_detect _ | Outcome.Timeout -> false)
+  in
+  let ddet = (not co) && Outcome.is_dpmr_detect r in
+  let t2d =
+    match ((ndet || ddet), r.Outcome.fi_first_cost) with
+    | true, Some first -> Some (Int64.sub r.Outcome.cost first)
+    | _ -> None
+  in
+  {
+    sf = r.Outcome.fi_first_cost <> None;
+    co;
+    ndet;
+    ddet;
+    timeout = r.Outcome.outcome = Outcome.Timeout;
+    t2d;
+    cost = r.Outcome.cost;
+    peak_heap = r.Outcome.peak_heap_bytes;
+  }
+
+(** Run one variant to completion. *)
+let run_variant ?seed t variant =
+  let seed = Option.value seed ~default:t.seed in
+  let r =
+    match variant with
+    | Golden -> Dpmr.run_plain ~seed ~budget:t.budget ~args:t.wk.args t.base
+    | Fi_stdapp (kind, site) ->
+        let injected = Inject.apply t.base kind site in
+        Dpmr.run_plain ~seed ~budget:t.budget ~args:t.wk.args injected
+    | Nofi_dpmr cfg ->
+        Dpmr.run_dpmr ~seed ~budget:t.budget ~args:t.wk.args cfg t.base
+    | Fi_dpmr (cfg, kind, site) ->
+        let injected = Inject.apply t.base kind site in
+        Dpmr.run_dpmr ~seed ~budget:t.budget ~args:t.wk.args cfg injected
+  in
+  classify t r
+
+(** All injectable sites of the pristine program for a fault type. *)
+let sites t kind = Inject.sites kind t.base
+
+(** Overhead of a configuration on this workload: mean DPMR cost over mean
+    golden cost, non-fault-injection runs (Equation 3.1). *)
+let overhead t cfg =
+  let r = run_variant t (Nofi_dpmr cfg) in
+  Int64.to_float r.cost /. Int64.to_float t.golden.Outcome.cost
+
+(** Memory overhead (peak heap) of a configuration. *)
+let memory_overhead t cfg =
+  let r = run_variant t (Nofi_dpmr cfg) in
+  float_of_int r.peak_heap /. float_of_int t.golden.Outcome.peak_heap_bytes
+
+(** [StdNotAllDet] for one fault: under the fi-stdapp variant the fault
+    produced incorrect output without natural detection (the deterministic
+    single-run reading of Table 3.2's definition). *)
+let std_not_all_det t kind site =
+  let c = run_variant t (Fi_stdapp (kind, site)) in
+  c.sf && (not c.co) && not c.ndet

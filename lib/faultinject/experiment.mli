@@ -1,0 +1,58 @@
+(** Experiment runner: builds the §3.5 variants, runs them, classifies
+    each run with the Table 3.2 random variables. *)
+
+open Dpmr_ir
+module Config = Dpmr_core.Config
+module Outcome = Dpmr_vm.Outcome
+
+type workload = {
+  name : string;
+  build : unit -> Prog.t;  (** fresh program per call; never mutated *)
+  args : string list;
+}
+
+val workload : ?args:string list -> string -> (unit -> Prog.t) -> workload
+
+(** The §3.5 variant classes. *)
+type variant =
+  | Golden
+  | Fi_stdapp of Inject.kind * Inject.site
+  | Nofi_dpmr of Config.t
+  | Fi_dpmr of Config.t * Inject.kind * Inject.site
+
+(** One run, classified (§3.6). *)
+type classification = {
+  sf : bool;  (** successful fault injection *)
+  co : bool;  (** correct output (vs. the golden run) *)
+  ndet : bool;  (** natural detection: crash / error exit *)
+  ddet : bool;  (** DPMR detection *)
+  timeout : bool;
+  t2d : int64 option;  (** time to fault detection, cost units *)
+  cost : int64;
+  peak_heap : int;
+}
+
+type t = {
+  wk : workload;
+  base : Prog.t;
+  golden : Outcome.run;
+  budget : int64;  (** ~20x the golden cost (§3.6's timeout) *)
+  seed : int64;
+}
+
+(** Build the experiment context: verifies the program and takes the
+    golden run (raises if it does not exit normally). *)
+val make : ?seed:int64 -> workload -> t
+
+val classify : t -> Outcome.run -> classification
+val run_variant : ?seed:int64 -> t -> variant -> classification
+val sites : t -> Inject.kind -> Inject.site list
+
+(** Mean variant cost over golden cost, non-FI runs (Equation 3.1). *)
+val overhead : t -> Config.t -> float
+
+val memory_overhead : t -> Config.t -> float
+
+(** [StdNotAllDet] for one fault: fi-stdapp produced incorrect output
+    without natural detection. *)
+val std_not_all_det : t -> Inject.kind -> Inject.site -> bool

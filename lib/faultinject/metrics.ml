@@ -1,0 +1,51 @@
+(** Aggregate evaluation metrics (§3.6): coverage, conditional coverage,
+    overhead, detection latency — computed over the per-site
+    classifications produced by {!Experiment}. *)
+
+(** Stacked coverage components over a set of successful injections: the
+    fractions correspond to the blue (CO), yellow (NatDet) and green
+    (DpmrDet) bands of Figures 3.6–3.9. *)
+type coverage = {
+  n_sf : int;  (** successful injections considered *)
+  co : int;
+  ndet : int;
+  ddet : int;
+}
+
+let empty = { n_sf = 0; co = 0; ndet = 0; ddet = 0 }
+
+let add cov (c : Experiment.classification) =
+  if not c.Experiment.sf then cov
+  else
+    {
+      n_sf = cov.n_sf + 1;
+      co = (cov.co + if c.Experiment.co then 1 else 0);
+      ndet = (cov.ndet + if c.Experiment.ndet then 1 else 0);
+      ddet = (cov.ddet + if c.Experiment.ddet then 1 else 0);
+    }
+
+let of_list cs = List.fold_left add empty cs
+
+let frac num cov = if cov.n_sf = 0 then 0.0 else float_of_int num /. float_of_int cov.n_sf
+let co_frac cov = frac cov.co cov
+let ndet_frac cov = frac cov.ndet cov
+let ddet_frac cov = frac cov.ddet cov
+
+(** Total coverage: CO or natural detection or DPMR detection
+    (Equation 3.2). *)
+let total cov = co_frac cov +. ndet_frac cov +. ddet_frac cov
+
+(** Mean detection latency over runs with a detection (Equation 3.4),
+    in cost units; [None] when nothing was detected. *)
+let mean_t2d (cs : Experiment.classification list) =
+  let lats = List.filter_map (fun c -> c.Experiment.t2d) cs in
+  match lats with
+  | [] -> None
+  | _ ->
+      let sum = List.fold_left (fun a l -> a +. Int64.to_float l) 0.0 lats in
+      Some (sum /. float_of_int (List.length lats))
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -1,0 +1,20 @@
+(** Aggregate evaluation metrics (§3.6) over per-site classifications. *)
+
+(** Stacked coverage components over successful injections — the CO /
+    NatDet / DpmrDet bands of Figures 3.6–3.9. *)
+type coverage = { n_sf : int; co : int; ndet : int; ddet : int }
+
+val empty : coverage
+val add : coverage -> Experiment.classification -> coverage
+val of_list : Experiment.classification list -> coverage
+val co_frac : coverage -> float
+val ndet_frac : coverage -> float
+val ddet_frac : coverage -> float
+
+(** Total coverage: CO or natural or DPMR detection (Equation 3.2). *)
+val total : coverage -> float
+
+(** Mean detection latency over detected runs (Equation 3.4). *)
+val mean_t2d : Experiment.classification list -> float option
+
+val mean : float list -> float

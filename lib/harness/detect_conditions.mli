@@ -1,0 +1,24 @@
+(** §2.5 detection-conditions ablation: scenarios engineering each
+    write/read/free error manifestation class, with expected outcomes. *)
+
+open Dpmr_ir
+module Config = Dpmr_core.Config
+module Outcome = Dpmr_vm.Outcome
+
+type scenario = {
+  sname : string;
+  section : string;  (** dissertation section the class comes from *)
+  expectation : string;
+  build : unit -> Prog.t;
+  cfg : Config.t;
+  classify : Outcome.run -> Outcome.run -> bool;
+      (** (golden run, dpmr run) -> behaved as §2.5 predicts? *)
+}
+
+val scenarios : scenario list
+
+(** Returns (golden run, dpmr run, as-expected). *)
+val run_scenario : scenario -> Outcome.run * Outcome.run * bool
+
+(** Print the scenario table. *)
+val report : unit -> unit

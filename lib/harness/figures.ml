@@ -1,0 +1,568 @@
+(** One driver per evaluation table/figure.
+
+    Every figure and table of Chapters 3 and 4 has an entry here that
+    re-runs the underlying experiment and prints the series the paper
+    plots.  Results are cost-model units (not milliseconds); the shapes —
+    who wins, by what factor, where crossovers fall — are the reproduced
+    quantity (see EXPERIMENTS.md). *)
+
+module Config = Dpmr_core.Config
+module Experiment = Dpmr_fi.Experiment
+module Inject = Dpmr_fi.Inject
+module Metrics = Dpmr_fi.Metrics
+module Workloads = Dpmr_workloads.Workloads
+module T = Table_fmt
+
+type ctx = {
+  scale : int;
+  seed : int64;
+  reps : int;
+      (** repetitions per (site, variant) with distinct seeds — the run
+          number RN of the (W, C, D, I, RN) experiment tuple (§3.6) *)
+  experiments : (string, Experiment.t) Hashtbl.t;
+  class_cache : (string, Experiment.classification list) Hashtbl.t;
+  snad_cache : (string, bool list) Hashtbl.t;  (** StdNotAllDet per site *)
+}
+
+let create ?(scale = 1) ?(seed = 42L) ?(reps = 1) () =
+  {
+    scale;
+    seed;
+    reps = max 1 reps;
+    experiments = Hashtbl.create 8;
+    class_cache = Hashtbl.create 64;
+    snad_cache = Hashtbl.create 16;
+  }
+
+let experiment ctx name =
+  match Hashtbl.find_opt ctx.experiments name with
+  | Some e -> e
+  | None ->
+      let entry = Workloads.find name in
+      let wk =
+        Experiment.workload name (fun () -> entry.Workloads.build ~scale:ctx.scale ())
+      in
+      let e = Experiment.make ~seed:ctx.seed wk in
+      Hashtbl.replace ctx.experiments name e;
+      e
+
+(* ---------------- variant sets ---------------- *)
+
+let diversities =
+  [
+    ("no-diversity", Config.No_diversity);
+    ("zero-before-free", Config.Zero_before_free);
+    ("rearrange-heap", Config.Rearrange_heap);
+    ("pad-malloc-8", Config.Pad_malloc 8);
+    ("pad-malloc-32", Config.Pad_malloc 32);
+    ("pad-malloc-256", Config.Pad_malloc 256);
+    ("pad-malloc-1024", Config.Pad_malloc 1024);
+  ]
+
+let policies =
+  [
+    ("all-loads", Config.All_loads);
+    ("temporal-1/8", Config.Temporal Config.temporal_mask_1_8);
+    ("temporal-1/2", Config.Temporal Config.temporal_mask_1_2);
+    ("temporal-7/8", Config.Temporal Config.temporal_mask_7_8);
+    ("static-10%", Config.Static 0.10);
+    ("static-50%", Config.Static 0.50);
+    ("static-90%", Config.Static 0.90);
+  ]
+
+let div_cfg mode d = { Config.default with Config.mode; diversity = d }
+
+(* the policy study fixes rearrange-heap, the best diversity transform (§3.8) *)
+let pol_cfg mode pol =
+  { Config.default with Config.mode; diversity = Config.Rearrange_heap; policy = pol }
+
+let apps = [ "art"; "bzip2"; "equake"; "mcf" ]
+
+let kind_resize = Inject.Heap_array_resize 50
+let kind_free = Inject.Immediate_free
+
+let kind_tag = function
+  | Inject.Heap_array_resize _ -> "resize"
+  | Inject.Immediate_free -> "free"
+  | Inject.Off_by_one -> "off-by-one"
+  | Inject.Wild_store _ -> "wild-store"
+
+(* ---------------- cached data collection ---------------- *)
+
+(** Classifications of all injection sites under a variant. *)
+let classifications ctx app kind variant_key variant =
+  let key = Printf.sprintf "%s/%s/%s" app (kind_tag kind) variant_key in
+  match Hashtbl.find_opt ctx.class_cache key with
+  | Some cs -> cs
+  | None ->
+      let e = experiment ctx app in
+      let cs =
+        List.concat_map
+          (fun site ->
+            List.init ctx.reps (fun rn ->
+                let seed = Int64.add ctx.seed (Int64.of_int rn) in
+                Experiment.run_variant ~seed e (variant site)))
+          (Experiment.sites e kind)
+      in
+      Hashtbl.replace ctx.class_cache key cs;
+      cs
+
+let stdapp_classes ctx app kind =
+  classifications ctx app kind "stdapp" (fun site ->
+      Experiment.Fi_stdapp (kind, site))
+
+let dpmr_classes ctx app kind cfg =
+  classifications ctx app kind (Config.name cfg) (fun site ->
+      Experiment.Fi_dpmr (cfg, kind, site))
+
+(** StdNotAllDet flags, per site (the conditional-coverage filter). *)
+let snad ctx app kind =
+  let key = Printf.sprintf "%s/%s" app (kind_tag kind) in
+  match Hashtbl.find_opt ctx.snad_cache key with
+  | Some l -> l
+  | None ->
+      let l =
+        (* per the Table 3.2 definition, a fault is StdNotAllDet if ANY
+           stdapp run of it silently corrupts; with reps > 1 the flag is
+           the per-site disjunction, replicated per repetition to align
+           with the classification lists *)
+        let per_run =
+          List.map
+            (fun (c : Experiment.classification) ->
+              c.Experiment.sf && (not c.Experiment.co) && not c.Experiment.ndet)
+            (stdapp_classes ctx app kind)
+        in
+        let n_sites = List.length per_run / ctx.reps in
+        List.concat
+          (List.init n_sites (fun s ->
+               let site_any =
+                 List.exists
+                   (fun r -> List.nth per_run ((s * ctx.reps) + r))
+                   (List.init ctx.reps (fun r -> r))
+               in
+               List.init ctx.reps (fun _ -> site_any)))
+      in
+      Hashtbl.replace ctx.snad_cache key l;
+      l
+
+let filter_snad ctx app kind cs =
+  List.filteri
+    (fun i _ -> match List.nth_opt (snad ctx app kind) i with Some b -> b | None -> false)
+    cs
+
+(* ---------------- coverage figures ---------------- *)
+
+let cov_cells cov =
+  [
+    T.f2 (Metrics.co_frac cov);
+    T.f2 (Metrics.ndet_frac cov);
+    T.f2 (Metrics.ddet_frac cov);
+    T.f2 (Metrics.total cov);
+    string_of_int cov.Metrics.n_sf;
+  ]
+
+let cov_header = [ "variant"; "app"; "CO"; "NatDet"; "DpmrDet"; "total"; "n" ]
+
+(** Per-app coverage figure (3.6/3.7/3.11/3.12 and the 4.x analogues). *)
+let coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
+  T.print_section title;
+  let rows = ref [] in
+  List.iter
+    (fun app ->
+      let cov = Metrics.of_list (stdapp_classes ctx app kind) in
+      rows := ([ "stdapp"; app ] @ cov_cells cov) :: !rows)
+    apps;
+  List.iter
+    (fun (vname, v) ->
+      List.iter
+        (fun app ->
+          let cov = Metrics.of_list (dpmr_classes ctx app kind (mk_cfg v)) in
+          rows := ([ vname; app ] @ cov_cells cov) :: !rows)
+        apps)
+    variants;
+  print_string (T.render (cov_header :: List.rev !rows))
+
+(** Aggregated conditional coverage (3.8/3.9/3.13/3.14 and 4.x). *)
+let cond_coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
+  T.print_section title;
+  let rows = ref [] in
+  let agg classes_of =
+    Metrics.of_list
+      (List.concat_map (fun app -> filter_snad ctx app kind (classes_of app)) apps)
+  in
+  let cov0 = agg (fun app -> stdapp_classes ctx app kind) in
+  rows := ([ "stdapp"; "all" ] @ cov_cells cov0) :: !rows;
+  List.iter
+    (fun (vname, v) ->
+      let cov = agg (fun app -> dpmr_classes ctx app kind (mk_cfg v)) in
+      rows := ([ vname; "all" ] @ cov_cells cov) :: !rows)
+    variants;
+  print_string (T.render (cov_header :: List.rev !rows))
+
+(* ---------------- overhead figures ---------------- *)
+
+let overhead_figure ctx ~title ~variants ~mk_cfg =
+  T.print_section title;
+  let header = "variant" :: apps in
+  let rows =
+    ("golden" :: List.map (fun _ -> "1.00") apps)
+    :: List.map
+         (fun (vname, v) ->
+           vname
+           :: List.map
+                (fun app -> T.f2 (Experiment.overhead (experiment ctx app) (mk_cfg v)))
+                apps)
+         variants
+  in
+  print_string (T.render (header :: rows))
+
+(** Side-by-side SDS/MDS overheads (Figures 4.3/4.4). *)
+let side_by_side_overhead ctx ~title ~variants ~mk_cfg =
+  T.print_section title;
+  let header = "variant" :: List.concat_map (fun a -> [ a ^ "/sds"; a ^ "/mds" ]) apps in
+  let rows =
+    List.map
+      (fun (vname, v) ->
+        vname
+        :: List.concat_map
+             (fun app ->
+               let e = experiment ctx app in
+               [
+                 T.f2 (Experiment.overhead e (mk_cfg Config.Sds v));
+                 T.f2 (Experiment.overhead e (mk_cfg Config.Mds v));
+               ])
+             apps)
+      variants
+  in
+  print_string (T.render (header :: rows))
+
+(* ---------------- detection-latency tables ---------------- *)
+
+let t2d_table ctx ~title ~variants ~mk_cfg =
+  T.print_section title;
+  let header = [ "kind"; "variant" ] @ apps in
+  let rows =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun (vname, v) ->
+            [ kind_tag kind; vname ]
+            @ List.map
+                (fun app ->
+                  match Metrics.mean_t2d (dpmr_classes ctx app kind (mk_cfg v)) with
+                  | Some t -> Printf.sprintf "%.0f" t
+                  | None -> "--")
+                apps)
+          variants)
+      [ kind_resize; kind_free ]
+  in
+  print_string (T.render (header :: rows))
+
+(* ---------------- misc tables ---------------- *)
+
+let table_3_1 () =
+  T.print_section "Table 3.1: testbed specifications (simulated)";
+  print_string
+    (T.render
+       [
+         [ "component"; "value" ];
+         [ "execution"; "deterministic IR interpreter (cost-unit clock)" ];
+         [ "cost: load/store"; Printf.sprintf "%d/%d units" Dpmr_vm.Cost.load Dpmr_vm.Cost.store ];
+         [ "cost: branch/cond-branch"; Printf.sprintf "%d/%d units" Dpmr_vm.Cost.branch Dpmr_vm.Cost.cond_branch ];
+         [ "cost: malloc"; "40 + bytes/32 units (fresh chunk)" ];
+         [ "heap"; "binned first-fit, 16-byte chunk headers, min payload 24B" ];
+         [ "memory"; "demand-mapped 4 KiB pages, flat 64-bit space" ];
+         [ "timeout"; "20x golden cost (deterministic)" ];
+       ])
+
+let table_3_2 () =
+  T.print_section "Table 3.2: measurement components";
+  print_string
+    (T.render
+       [
+         [ "symbol"; "meaning" ];
+         [ "SF"; "successful fault injection: injected code executed at least once" ];
+         [ "CO"; "correct output: output and exit status match the golden run" ];
+         [ "NatDet"; "natural detection: crash or error-indicating exit status" ];
+         [ "DpmrDet"; "a DPMR load check or wrapper check aborted the program" ];
+         [ "T2D"; "total cost minus cost at first successful injection" ];
+         [ "StdNotAllDet"; "fi-stdapp produced incorrect output without natural detection" ];
+         [ "overhead"; "mean variant cost / mean golden cost, non-FI runs" ];
+       ])
+
+let fig_3_16 () =
+  T.print_section "Figure 3.16: periodicity-optimized temporal checking";
+  let counter, periodic = Periodicity.measure () in
+  print_string
+    (T.render
+       [
+         [ "codegen"; "cost"; "relative" ];
+         [ "counter-gated (Fig 3.16a)"; Int64.to_string counter; "1.00" ];
+         [
+           "unrolled periodic (Fig 3.16b)";
+           Int64.to_string periodic;
+           T.f2 (Int64.to_float periodic /. Int64.to_float counter);
+         ];
+       ])
+
+(* ---------------- registry ---------------- *)
+
+let sds = Config.Sds
+let mds = Config.Mds
+
+let all : (string * string * (ctx -> unit)) list =
+  [
+    ("table-3.1", "testbed specifications", fun _ -> table_3_1 ());
+    ("table-3.2", "measurement components", fun _ -> table_3_2 ());
+    ( "fig-3.6",
+      "mean heap array resize coverage of diversity transformations (SDS)",
+      fun ctx ->
+        coverage_figure ctx
+          ~title:"Figure 3.6: heap array resize coverage, diversity transforms (SDS)"
+          ~kind:kind_resize ~variants:diversities ~mk_cfg:(div_cfg sds) );
+    ( "fig-3.7",
+      "mean immediate free coverage of diversity transformations (SDS)",
+      fun ctx ->
+        coverage_figure ctx
+          ~title:"Figure 3.7: immediate free coverage, diversity transforms (SDS)"
+          ~kind:kind_free ~variants:diversities ~mk_cfg:(div_cfg sds) );
+    ( "fig-3.8",
+      "conditional heap array resize coverage of diversity transformations (SDS)",
+      fun ctx ->
+        cond_coverage_figure ctx
+          ~title:"Figure 3.8: conditional resize coverage, diversity transforms (SDS)"
+          ~kind:kind_resize ~variants:diversities ~mk_cfg:(div_cfg sds) );
+    ( "fig-3.9",
+      "conditional immediate free coverage of diversity transformations (SDS)",
+      fun ctx ->
+        cond_coverage_figure ctx
+          ~title:"Figure 3.9: conditional immediate-free coverage, diversity transforms (SDS)"
+          ~kind:kind_free ~variants:diversities ~mk_cfg:(div_cfg sds) );
+    ( "fig-3.10",
+      "overhead of diversity transformations (SDS)",
+      fun ctx ->
+        overhead_figure ctx ~title:"Figure 3.10: overhead of diversity transforms (SDS)"
+          ~variants:diversities ~mk_cfg:(div_cfg sds) );
+    ( "table-3.3",
+      "mean time to detection of diversity transformations (SDS)",
+      fun ctx ->
+        t2d_table ctx ~title:"Table 3.3: mean time to detection, diversity transforms (SDS)"
+          ~variants:diversities ~mk_cfg:(div_cfg sds) );
+    ( "fig-3.11",
+      "heap array resize coverage of state comparison policies (SDS)",
+      fun ctx ->
+        coverage_figure ctx
+          ~title:"Figure 3.11: resize coverage, comparison policies (SDS, rearrange-heap)"
+          ~kind:kind_resize ~variants:policies ~mk_cfg:(pol_cfg sds) );
+    ( "fig-3.12",
+      "immediate free coverage of state comparison policies (SDS)",
+      fun ctx ->
+        coverage_figure ctx
+          ~title:"Figure 3.12: immediate-free coverage, comparison policies (SDS)"
+          ~kind:kind_free ~variants:policies ~mk_cfg:(pol_cfg sds) );
+    ( "fig-3.13",
+      "conditional resize coverage of state comparison policies (SDS)",
+      fun ctx ->
+        cond_coverage_figure ctx
+          ~title:"Figure 3.13: conditional resize coverage, comparison policies (SDS)"
+          ~kind:kind_resize ~variants:policies ~mk_cfg:(pol_cfg sds) );
+    ( "fig-3.14",
+      "conditional immediate-free coverage of state comparison policies (SDS)",
+      fun ctx ->
+        cond_coverage_figure ctx
+          ~title:"Figure 3.14: conditional immediate-free coverage, comparison policies (SDS)"
+          ~kind:kind_free ~variants:policies ~mk_cfg:(pol_cfg sds) );
+    ( "fig-3.15",
+      "overhead of state comparison policies (SDS)",
+      fun ctx ->
+        overhead_figure ctx
+          ~title:"Figure 3.15: overhead of comparison policies (SDS, rearrange-heap)"
+          ~variants:policies ~mk_cfg:(pol_cfg sds) );
+    ("fig-3.16", "periodicity-optimized temporal checking", fun _ -> fig_3_16 ());
+    ( "table-3.4",
+      "mean time to detection of state comparison policies (SDS)",
+      fun ctx ->
+        t2d_table ctx ~title:"Table 3.4: mean time to detection, comparison policies (SDS)"
+          ~variants:policies ~mk_cfg:(pol_cfg sds) );
+    ( "fig-4.3",
+      "side-by-side diversity transformation overheads of SDS and MDS",
+      fun ctx ->
+        side_by_side_overhead ctx
+          ~title:"Figure 4.3: SDS vs MDS diversity overheads"
+          ~variants:
+            [
+              ("no-diversity", Config.No_diversity);
+              ("zero-before-free", Config.Zero_before_free);
+              ("rearrange-heap", Config.Rearrange_heap);
+              ("pad-malloc-32", Config.Pad_malloc 32);
+            ]
+          ~mk_cfg:div_cfg );
+    ( "fig-4.4",
+      "side-by-side comparison policy overheads of SDS and MDS",
+      fun ctx ->
+        side_by_side_overhead ctx
+          ~title:"Figure 4.4: SDS vs MDS comparison-policy overheads (rearrange-heap)"
+          ~variants:
+            [
+              ("static-10%", Config.Static 0.10);
+              ("static-50%", Config.Static 0.50);
+              ("static-90%", Config.Static 0.90);
+              ("all-loads", Config.All_loads);
+            ]
+          ~mk_cfg:pol_cfg );
+    ( "fig-4.5",
+      "MDS overhead of diversity transformations",
+      fun ctx ->
+        overhead_figure ctx ~title:"Figure 4.5: overhead of diversity transforms (MDS)"
+          ~variants:diversities ~mk_cfg:(div_cfg mds) );
+    ( "fig-4.6",
+      "MDS overhead of state comparison policies",
+      fun ctx ->
+        overhead_figure ctx ~title:"Figure 4.6: overhead of comparison policies (MDS)"
+          ~variants:policies ~mk_cfg:(pol_cfg mds) );
+    ( "fig-4.7",
+      "mean MDS heap array resize coverage of diversity transformations",
+      fun ctx ->
+        coverage_figure ctx
+          ~title:"Figure 4.7: resize coverage, diversity transforms (MDS)" ~kind:kind_resize
+          ~variants:diversities ~mk_cfg:(div_cfg mds) );
+    ( "fig-4.8",
+      "mean MDS immediate free coverage of diversity transformations",
+      fun ctx ->
+        coverage_figure ctx
+          ~title:"Figure 4.8: immediate-free coverage, diversity transforms (MDS)"
+          ~kind:kind_free ~variants:diversities ~mk_cfg:(div_cfg mds) );
+    ( "fig-4.9",
+      "conditional MDS resize coverage of diversity transformations",
+      fun ctx ->
+        cond_coverage_figure ctx
+          ~title:"Figure 4.9: conditional resize coverage, diversity transforms (MDS)"
+          ~kind:kind_resize ~variants:diversities ~mk_cfg:(div_cfg mds) );
+    ( "fig-4.10",
+      "conditional MDS immediate-free coverage of diversity transformations",
+      fun ctx ->
+        cond_coverage_figure ctx
+          ~title:"Figure 4.10: conditional immediate-free coverage, diversity transforms (MDS)"
+          ~kind:kind_free ~variants:diversities ~mk_cfg:(div_cfg mds) );
+    ( "fig-4.11",
+      "MDS resize coverage of state comparison policies",
+      fun ctx ->
+        coverage_figure ctx
+          ~title:"Figure 4.11: resize coverage, comparison policies (MDS)" ~kind:kind_resize
+          ~variants:policies ~mk_cfg:(pol_cfg mds) );
+    ( "fig-4.12",
+      "MDS immediate-free coverage of state comparison policies",
+      fun ctx ->
+        coverage_figure ctx
+          ~title:"Figure 4.12: immediate-free coverage, comparison policies (MDS)"
+          ~kind:kind_free ~variants:policies ~mk_cfg:(pol_cfg mds) );
+    ( "fig-4.13",
+      "conditional MDS resize coverage of state comparison policies",
+      fun ctx ->
+        cond_coverage_figure ctx
+          ~title:"Figure 4.13: conditional resize coverage, comparison policies (MDS)"
+          ~kind:kind_resize ~variants:policies ~mk_cfg:(pol_cfg mds) );
+    ( "fig-4.14",
+      "conditional MDS immediate-free coverage of state comparison policies",
+      fun ctx ->
+        cond_coverage_figure ctx
+          ~title:"Figure 4.14: conditional immediate-free coverage, comparison policies (MDS)"
+          ~kind:kind_free ~variants:policies ~mk_cfg:(pol_cfg mds) );
+    ( "table-4.5",
+      "mean time to detection of diversity transformations under MDS",
+      fun ctx ->
+        t2d_table ctx ~title:"Table 4.5: mean time to detection, diversity transforms (MDS)"
+          ~variants:diversities ~mk_cfg:(div_cfg mds) );
+    ( "table-4.6",
+      "mean time to detection of state comparison policies under MDS",
+      fun ctx ->
+        t2d_table ctx ~title:"Table 4.6: mean time to detection, comparison policies (MDS)"
+          ~variants:policies ~mk_cfg:(pol_cfg mds) );
+    ( "ext-off-by-one",
+      "extension: coverage of off-by-one under-allocations (both designs)",
+      fun ctx ->
+        coverage_figure ctx
+          ~title:"Extension: off-by-one coverage, rearrange-heap (SDS)"
+          ~kind:Inject.Off_by_one
+          ~variants:[ ("sds/rearrange", Config.Rearrange_heap) ]
+          ~mk_cfg:(div_cfg sds);
+        coverage_figure ctx
+          ~title:"Extension: off-by-one coverage, rearrange-heap (MDS)"
+          ~kind:Inject.Off_by_one
+          ~variants:[ ("mds/rearrange", Config.Rearrange_heap) ]
+          ~mk_cfg:(div_cfg mds) );
+    ( "ext-wild-store",
+      "extension: coverage of wild-pointer writes (both designs)",
+      fun ctx ->
+        coverage_figure ctx
+          ~title:"Extension: wild-store coverage, no-diversity (SDS)"
+          ~kind:(Inject.Wild_store 4096)
+          ~variants:[ ("sds/no-diversity", Config.No_diversity) ]
+          ~mk_cfg:(div_cfg sds);
+        coverage_figure ctx
+          ~title:"Extension: wild-store coverage, no-diversity (MDS)"
+          ~kind:(Inject.Wild_store 4096)
+          ~variants:[ ("mds/no-diversity", Config.No_diversity) ]
+          ~mk_cfg:(div_cfg mds) );
+    ( "detect-conditions",
+      "§2.5 detection-conditions ablation (write/read/free manifestation classes)",
+      fun _ -> Detect_conditions.report () );
+    ( "rx-recovery",
+      "extension: Rx-style recovery from DPMR detections (§1.5 pairing)",
+      fun ctx ->
+        T.print_section "Rx-style recovery from DPMR-detected resize faults";
+        let kind = kind_resize in
+        let cfg = div_cfg sds Config.No_diversity in
+        let rows = ref [] in
+        List.iter
+          (fun app ->
+            let e = experiment ctx app in
+            List.iter
+              (fun site ->
+                let injected = Dpmr_fi.Inject.apply e.Experiment.base kind site in
+                let res =
+                  Dpmr_core.Rx.run_with_recovery ~budget:e.Experiment.budget cfg
+                    injected ~escalation:[ 8; 64; 1024 ]
+                in
+                if Dpmr_vm.Outcome.is_dpmr_detect res.Dpmr_core.Rx.first then
+                  rows :=
+                    [
+                      app;
+                      Dpmr_fi.Inject.site_name site;
+                      (match res.Dpmr_core.Rx.recovered_with with
+                      | Some pad -> Printf.sprintf "recovered (pad %d)" pad
+                      | None -> "NOT recovered");
+                      string_of_int res.Dpmr_core.Rx.attempts;
+                    ]
+                    :: !rows)
+              (Experiment.sites e kind))
+          apps;
+        print_string
+          (T.render ([ "app"; "detected fault site"; "outcome"; "re-executions" ] :: List.rev !rows)) );
+    ( "memory",
+      "memory overhead of SDS and MDS (the §4.1 2x-4x / 2x claim)",
+      fun ctx ->
+        T.print_section "Memory overhead (peak heap bytes vs golden)";
+        let header = [ "app"; "sds"; "mds" ] in
+        let rows =
+          List.map
+            (fun app ->
+              let e = experiment ctx app in
+              [
+                app;
+                T.f2 (Experiment.memory_overhead e (div_cfg sds Config.No_diversity));
+                T.f2 (Experiment.memory_overhead e (div_cfg mds Config.No_diversity));
+              ])
+            apps
+        in
+        print_string (T.render (header :: rows)) );
+  ]
+
+let ids = List.map (fun (id, _, _) -> id) all
+
+let run ctx id =
+  match List.find_opt (fun (i, _, _) -> i = id) all with
+  | Some (_, _, f) -> f ctx
+  | None -> invalid_arg (Printf.sprintf "Figures.run: unknown experiment %S" id)
+
+let run_all ctx = List.iter (fun (id, _, _) -> run ctx id) all

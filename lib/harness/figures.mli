@@ -1,0 +1,23 @@
+(** One driver per evaluation table/figure of Chapters 3 and 4.
+
+    Each entry re-runs the underlying experiment and prints the series
+    the paper plots.  Results are cost-model units; the reproduced
+    quantities are the shapes (see EXPERIMENTS.md). *)
+
+type ctx
+(** Caches experiments (golden runs) and per-variant classifications so
+    overlapping figures share work. *)
+
+(** [reps] repeats every fault-injection run with distinct seeds — the
+    run-number dimension RN of the §3.6 experiment tuple. *)
+val create : ?scale:int -> ?seed:int64 -> ?reps:int -> unit -> ctx
+
+(** (id, description, driver) for every experiment. *)
+val all : (string * string * (ctx -> unit)) list
+
+val ids : string list
+
+(** Run one experiment by id; raises on unknown ids. *)
+val run : ctx -> string -> unit
+
+val run_all : ctx -> unit

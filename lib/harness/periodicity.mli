@@ -1,0 +1,13 @@
+(** Figure 3.16: exploiting periodicity to improve temporal load-checking
+    overhead.  Builds both code shapes of the figure — counter-gated
+    checking and counter-free unrolled periodic checking — and measures
+    them. *)
+
+open Dpmr_ir
+
+val counter_version : unit -> Prog.t
+val periodic_version : unit -> Prog.t
+
+(** (counter-gated cost, unrolled-periodic cost); asserts both versions
+    run normally with identical output. *)
+val measure : unit -> int64 * int64

@@ -1,0 +1,38 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+let pad w s =
+  let n = String.length s in
+  if n >= w then s else s ^ String.make (w - n) ' '
+
+(** Render rows with per-column alignment; first row is the header. *)
+let render rows =
+  match rows with
+  | [] -> ""
+  | header :: _ ->
+      let ncols = List.length header in
+      let widths = Array.make ncols 0 in
+      List.iter
+        (List.iteri (fun i cell ->
+             if i < ncols then widths.(i) <- max widths.(i) (String.length cell)))
+        rows;
+      let buf = Buffer.create 256 in
+      let emit_row r =
+        List.iteri
+          (fun i cell ->
+            Buffer.add_string buf (pad widths.(i) cell);
+            if i < ncols - 1 then Buffer.add_string buf "  ")
+          r;
+        Buffer.add_char buf '\n'
+      in
+      emit_row header;
+      Buffer.add_string buf
+        (String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+      Buffer.add_char buf '\n';
+      List.iter emit_row (List.tl rows);
+      Buffer.contents buf
+
+let print_section title =
+  Printf.printf "\n=== %s ===\n\n" title
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x

@@ -1,0 +1,10 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+val pad : int -> string -> string
+
+(** Render rows with per-column alignment; the first row is the header. *)
+val render : string list list -> string
+
+val print_section : string -> unit
+val f2 : float -> string
+val f3 : float -> string

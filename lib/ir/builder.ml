@@ -1,0 +1,222 @@
+(** Embedded DSL for constructing IR programs.
+
+    The workloads (art/bzip2/equake/mcf simulacra) and all transformation
+    examples are written against this builder.  It provides structured
+    control flow ([if_], [while_], [for_]) that lowers to basic blocks, so
+    workload code stays readable while the underlying program is ordinary
+    block-structured IR. *)
+
+open Types
+open Inst
+
+type t = { prog : Prog.t; func : Func.t; mutable cur : Func.block }
+
+let create prog ~name ~params ~ret ?(vararg = false) () =
+  let func = Func.create ~name ~params ~ret ~vararg () in
+  Prog.add_func prog func;
+  let entry = Func.add_block func "entry" in
+  { prog; func; cur = entry }
+
+(** Builder positioned on an existing function (used by the transforms). *)
+let on_func prog func block = { prog; func; cur = block }
+
+let fresh_label b base = Func.fresh_label b.func base
+
+let new_block b base =
+  let l = fresh_label b base in
+  Func.add_block b.func l
+
+let position b block = b.cur <- block
+
+let param b i = Reg (fst (List.nth b.func.params i))
+let params b = List.map (fun (r, _) -> Reg r) b.func.params
+
+(* constant helpers *)
+let i8c n = Cint (W8, Int64.of_int n)
+let i16c n = Cint (W16, Int64.of_int n)
+let i32c n = Cint (W32, Int64.of_int n)
+let i64c n = Cint (W64, Int64.of_int n)
+let i64c' n = Cint (W64, n)
+let fc x = Cfloat x
+let null t = Null t
+
+let emit b inst = b.cur.insts <- b.cur.insts @ [ inst ]
+
+let emit_def b ?name ty mk =
+  let r = Func.fresh_reg b.func ?name ty in
+  emit b (mk r);
+  Reg r
+
+let operand_ty b o = Prog.operand_ty b.prog b.func o
+
+(* memory *)
+let malloc b ?name ?(count = i64c 1) ty =
+  emit_def b ?name (Ptr ty) (fun r -> Malloc (r, ty, count))
+
+let alloca b ?name ?(count = i64c 1) ty =
+  emit_def b ?name (Ptr ty) (fun r -> Alloca (r, ty, count))
+
+let free b p = emit b (Free p)
+
+let load b ?name ty p = emit_def b ?name ty (fun r -> Load (r, ty, p))
+let store b ty v p = emit b (Store (ty, v, p))
+
+let gep_field b ?name p i =
+  match operand_ty b p with
+  | Ptr (Struct s) ->
+      let fty = List.nth (Tenv.fields b.prog.tenv s) i in
+      emit_def b ?name (Ptr fty) (fun r -> Gep_field (r, s, p, i))
+  | Ptr (Union s) ->
+      let fty = List.nth (Tenv.fields b.prog.tenv s) i in
+      emit_def b ?name (Ptr fty) (fun r -> Gep_field (r, s, p, i))
+  | t ->
+      invalid_arg
+        (Fmt.str "Builder.gep_field: operand has type %a, not struct pointer"
+           Types.pp t)
+
+let gep_index b ?name p i =
+  let elem =
+    match operand_ty b p with
+    | Ptr (Arr (e, _)) -> e
+    | Ptr e -> e
+    | t -> invalid_arg (Fmt.str "Builder.gep_index: bad type %a" Types.pp t)
+  in
+  emit_def b ?name (Ptr elem) (fun r -> Gep_index (r, elem, p, i))
+
+let bitcast b ?name ty p = emit_def b ?name ty (fun r -> Bitcast (r, ty, p))
+let ptr_to_int b ?name p = emit_def b ?name i64 (fun r -> Ptr_to_int (r, p))
+let int_to_ptr b ?name ty v = emit_def b ?name ty (fun r -> Int_to_ptr (r, ty, v))
+
+(* arithmetic *)
+let binop b ?name op w x y = emit_def b ?name (Int w) (fun r -> Binop (r, op, w, x, y))
+let add b ?name w x y = binop b ?name Add w x y
+let sub b ?name w x y = binop b ?name Sub w x y
+let mul b ?name w x y = binop b ?name Mul w x y
+let sdiv b ?name w x y = binop b ?name Sdiv w x y
+let srem b ?name w x y = binop b ?name Srem w x y
+
+let fbinop b ?name op x y = emit_def b ?name Float (fun r -> Fbinop (r, op, x, y))
+let fadd b ?name x y = fbinop b ?name Fadd x y
+let fsub b ?name x y = fbinop b ?name Fsub x y
+let fmul b ?name x y = fbinop b ?name Fmul x y
+let fdiv b ?name x y = fbinop b ?name Fdiv x y
+
+let icmp b ?name c w x y = emit_def b ?name i8 (fun r -> Icmp (r, c, w, x, y))
+let fcmp b ?name c x y = emit_def b ?name i8 (fun r -> Fcmp (r, c, x, y))
+
+let int_cast b ?name ?(signed = true) w v =
+  emit_def b ?name (Int w) (fun r -> Int_cast (r, w, signed, v))
+
+let f_to_i b ?name w v = emit_def b ?name (Int w) (fun r -> F_to_i (r, w, v))
+let i_to_f b ?name w v = emit_def b ?name Float (fun r -> I_to_f (r, w, v))
+
+let select b ?name ty c x y = emit_def b ?name ty (fun r -> Select (r, ty, c, x, y))
+
+(* calls *)
+let call b ?name callee args =
+  let callee_name = match callee with Direct n -> Some n | Indirect _ -> None in
+  let ret_ty =
+    match callee with
+    | Direct n -> (Prog.fun_sig b.prog n).ret
+    | Indirect o -> (
+        match operand_ty b o with
+        | Ptr (Fun ft) -> ft.ret
+        | t -> invalid_arg (Fmt.str "Builder.call: callee type %a" Types.pp t))
+  in
+  ignore callee_name;
+  if ret_ty = Void then begin
+    emit b (Call (None, callee, args));
+    None
+  end
+  else begin
+    let r = Func.fresh_reg b.func ?name ret_ty in
+    emit b (Call (Some r, callee, args));
+    Some (Reg r)
+  end
+
+let call1 b ?name callee args =
+  match call b ?name callee args with
+  | Some v -> v
+  | None -> invalid_arg "Builder.call1: callee returns void"
+
+let call0 b callee args = ignore (call b callee args)
+
+(* terminators and structured control flow *)
+let br b l = b.cur.term <- Br l
+let cbr b c l1 l2 = b.cur.term <- Cbr (c, l1, l2)
+let ret b o = b.cur.term <- Ret o
+let ret0 b = ret b None
+let unreachable b = b.cur.term <- Unreachable
+
+(** [if_ b cond then_body]: emit [then_body] guarded by [cond <> 0]. *)
+let if_ b cond body =
+  let bt = new_block b "then" and bj = new_block b "endif" in
+  cbr b cond bt.label bj.label;
+  position b bt;
+  body ();
+  br b bj.label;
+  position b bj
+
+let if_else b cond body_t body_f =
+  let bt = new_block b "then"
+  and bf = new_block b "else"
+  and bj = new_block b "endif" in
+  cbr b cond bt.label bf.label;
+  position b bt;
+  body_t ();
+  br b bj.label;
+  position b bf;
+  body_f ();
+  br b bj.label;
+  position b bj
+
+(** [while_ b cond body]: [cond] is re-emitted at the loop head each
+    iteration and must return the loop condition operand. *)
+let while_ b cond body =
+  let bh = new_block b "while.head"
+  and bb = new_block b "while.body"
+  and bx = new_block b "while.end" in
+  br b bh.label;
+  position b bh;
+  let c = cond () in
+  cbr b c bb.label bx.label;
+  position b bb;
+  body ();
+  br b bh.label;
+  position b bx
+
+(** [for_ b ~from ~below body]: counted i64 loop over [from, below).  The
+    induction variable lives in a stack slot so the loop works without phi
+    nodes; [body] receives the current value as an operand. *)
+let for_ b ?(width = W64) ~from ~below body =
+  let slot = alloca b ~name:"i" (Int width) in
+  store b (Int width) from slot;
+  let bh = new_block b "for.head"
+  and bb = new_block b "for.body"
+  and bx = new_block b "for.end" in
+  br b bh.label;
+  position b bh;
+  let i = load b ~name:"i" (Int width) slot in
+  let c = icmp b Islt width i below in
+  cbr b c bb.label bx.label;
+  position b bb;
+  body i;
+  let i' = load b (Int width) slot in
+  let inc = add b width i' (Cint (width, 1L)) in
+  store b (Int width) inc slot;
+  br b bh.label;
+  position b bx
+
+(** Mutable local variable backed by a stack slot. *)
+let local b ?name ty init =
+  let slot = alloca b ?name ty in
+  store b ty init slot;
+  slot
+
+let get b ty slot = load b ty slot
+let set b ty slot v = store b ty v slot
+
+(* globals *)
+let global b ~name ty init =
+  Prog.add_global b.prog { Prog.gname = name; gty = ty; ginit = init };
+  Global name

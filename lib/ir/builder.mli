@@ -1,0 +1,126 @@
+(** Embedded DSL for constructing IR programs.
+
+    The workloads and the transformation examples are written against
+    this builder.  Structured control flow ([if_], [while_], [for_])
+    lowers to basic blocks, so client code stays readable while the
+    underlying program is ordinary block-structured IR.
+
+    Operand-returning emitters return the destination as an
+    {!Inst.operand} ([Reg r]), ready for use in subsequent emissions. *)
+
+open Types
+open Inst
+
+type t = { prog : Prog.t; func : Func.t; mutable cur : Func.block }
+
+(** Create a function in [prog] and position the builder at its entry. *)
+val create :
+  Prog.t ->
+  name:string ->
+  params:(string * ty) list ->
+  ret:ty ->
+  ?vararg:bool ->
+  unit ->
+  t
+
+(** Builder positioned on an existing block of an existing function
+    (used by the DPMR transformation engine). *)
+val on_func : Prog.t -> Func.t -> Func.block -> t
+
+val fresh_label : t -> string -> string
+val new_block : t -> string -> Func.block
+val position : t -> Func.block -> unit
+
+val param : t -> int -> operand
+val params : t -> operand list
+
+(** {1 Constants} *)
+
+val i8c : int -> operand
+val i16c : int -> operand
+val i32c : int -> operand
+val i64c : int -> operand
+val i64c' : int64 -> operand
+val fc : float -> operand
+val null : ty -> operand
+
+(** {1 Raw emission} *)
+
+val emit : t -> inst -> unit
+val operand_ty : t -> operand -> ty
+
+(** {1 Memory} *)
+
+val malloc : t -> ?name:string -> ?count:operand -> ty -> operand
+val alloca : t -> ?name:string -> ?count:operand -> ty -> operand
+val free : t -> operand -> unit
+val load : t -> ?name:string -> ty -> operand -> operand
+val store : t -> ty -> operand -> operand -> unit
+val gep_field : t -> ?name:string -> operand -> int -> operand
+val gep_index : t -> ?name:string -> operand -> operand -> operand
+val bitcast : t -> ?name:string -> ty -> operand -> operand
+val ptr_to_int : t -> ?name:string -> operand -> operand
+val int_to_ptr : t -> ?name:string -> ty -> operand -> operand
+
+(** {1 Arithmetic and comparisons} *)
+
+val binop : t -> ?name:string -> binop -> width -> operand -> operand -> operand
+val add : t -> ?name:string -> width -> operand -> operand -> operand
+val sub : t -> ?name:string -> width -> operand -> operand -> operand
+val mul : t -> ?name:string -> width -> operand -> operand -> operand
+val sdiv : t -> ?name:string -> width -> operand -> operand -> operand
+val srem : t -> ?name:string -> width -> operand -> operand -> operand
+val fbinop : t -> ?name:string -> fbinop -> operand -> operand -> operand
+val fadd : t -> ?name:string -> operand -> operand -> operand
+val fsub : t -> ?name:string -> operand -> operand -> operand
+val fmul : t -> ?name:string -> operand -> operand -> operand
+val fdiv : t -> ?name:string -> operand -> operand -> operand
+val icmp : t -> ?name:string -> icond -> width -> operand -> operand -> operand
+val fcmp : t -> ?name:string -> fcond -> operand -> operand -> operand
+val int_cast : t -> ?name:string -> ?signed:bool -> width -> operand -> operand
+val f_to_i : t -> ?name:string -> width -> operand -> operand
+val i_to_f : t -> ?name:string -> width -> operand -> operand
+val select : t -> ?name:string -> ty -> operand -> operand -> operand -> operand
+
+(** {1 Calls} *)
+
+(** [call b callee args] returns [Some result] unless the callee returns
+    void. *)
+val call : t -> ?name:string -> callee -> operand list -> operand option
+
+(** Like {!call} but requires a non-void result. *)
+val call1 : t -> ?name:string -> callee -> operand list -> operand
+
+(** Call for effect, discarding any result. *)
+val call0 : t -> callee -> operand list -> unit
+
+(** {1 Terminators and structured control flow} *)
+
+val br : t -> string -> unit
+val cbr : t -> operand -> string -> string -> unit
+val ret : t -> operand option -> unit
+val ret0 : t -> unit
+val unreachable : t -> unit
+
+val if_ : t -> operand -> (unit -> unit) -> unit
+val if_else : t -> operand -> (unit -> unit) -> (unit -> unit) -> unit
+
+(** [while_ b cond body]: [cond] is re-emitted at the loop head each
+    iteration and returns the loop condition operand. *)
+val while_ : t -> (unit -> operand) -> (unit -> unit) -> unit
+
+(** Counted loop over [\[from, below)]; the body receives the induction
+    value.  The induction variable lives in a stack slot, so nesting
+    works without phi nodes. *)
+val for_ :
+  t -> ?width:width -> from:operand -> below:operand -> (operand -> unit) -> unit
+
+(** {1 Mutable locals (stack slots)} *)
+
+val local : t -> ?name:string -> ty -> operand -> operand
+val get : t -> ty -> operand -> operand
+val set : t -> ty -> operand -> operand -> unit
+
+(** {1 Globals} *)
+
+val global : t -> name:string -> ty -> Prog.ginit -> operand

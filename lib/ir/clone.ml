@@ -1,0 +1,25 @@
+(** Deep copies of functions and programs.
+
+    The fault injector builds one program variant per (injection site,
+    fault type) pair by mutating a clone of the input program — the
+    original is never touched (mirroring §3.5's per-variant builds). *)
+
+let func (f : Func.t) : Func.t =
+  {
+    f with
+    blocks =
+      List.map
+        (fun (b : Func.block) ->
+          { Func.label = b.Func.label; insts = b.Func.insts; term = b.Func.term })
+        f.Func.blocks;
+    reg_tys = Hashtbl.copy f.Func.reg_tys;
+    reg_names = Hashtbl.copy f.Func.reg_names;
+    label_cache = None;
+  }
+
+let prog (p : Prog.t) : Prog.t =
+  let q = Prog.create ~tenv:(Types.Tenv.copy p.Prog.tenv) () in
+  Prog.iter_globals p (fun g -> Prog.add_global q { g with Prog.gname = g.Prog.gname });
+  Hashtbl.iter (fun name ft -> Prog.declare_extern q name ft) p.Prog.externs;
+  Prog.iter_funcs p (fun f -> Prog.add_func q (func f));
+  q

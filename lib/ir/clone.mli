@@ -1,0 +1,8 @@
+(** Deep copies of functions and programs.
+
+    The fault injector builds one program variant per (site, fault type)
+    pair by mutating a clone — the original is never touched, mirroring
+    the per-variant builds of §3.5. *)
+
+val func : Func.t -> Func.t
+val prog : Prog.t -> Prog.t

@@ -1,0 +1,120 @@
+(** Functions: typed virtual registers, basic blocks, parameters.
+
+    Virtual registers hold scalars only (the Chapter 2 assumption); they
+    are function-local, mutable slots — assigned by at most one
+    instruction *per dynamic execution*, but freely reassigned across
+    loop iterations, which sidesteps SSA phi nodes without changing
+    anything the DPMR transformation cares about. *)
+
+open Types
+
+type block = { label : string; mutable insts : Inst.inst list; mutable term : Inst.term }
+
+type t = {
+  name : string;
+  params : (Inst.reg * ty) list;
+  ret : ty;
+  vararg : bool;
+  mutable blocks : block list;  (** entry block first *)
+  reg_tys : (Inst.reg, ty) Hashtbl.t;
+  reg_names : (Inst.reg, string) Hashtbl.t;
+  mutable next_reg : int;
+  mutable next_label : int;  (** function-wide fresh-label counter *)
+  mutable label_cache : (string, block) Hashtbl.t option;
+      (** lazily built label -> block map (branch dispatch is hot);
+          invalidated by {!add_block} *)
+}
+
+let create ~name ~params ~ret ?(vararg = false) () =
+  let f =
+    {
+      name;
+      params = [];
+      ret;
+      vararg;
+      blocks = [];
+      reg_tys = Hashtbl.create 32;
+      reg_names = Hashtbl.create 32;
+      next_reg = 0;
+      next_label = 0;
+      label_cache = None;
+    }
+  in
+  let ps =
+    List.map
+      (fun (pname, pty) ->
+        let r = f.next_reg in
+        f.next_reg <- r + 1;
+        Hashtbl.replace f.reg_tys r pty;
+        Hashtbl.replace f.reg_names r pname;
+        (r, pty))
+      params
+  in
+  { f with params = ps }
+
+let fresh_reg f ?name ty =
+  let r = f.next_reg in
+  f.next_reg <- r + 1;
+  Hashtbl.replace f.reg_tys r ty;
+  (match name with Some n -> Hashtbl.replace f.reg_names r n | None -> ());
+  r
+
+let reg_ty f r =
+  match Hashtbl.find_opt f.reg_tys r with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Func.reg_ty: %s has no register %d" f.name r)
+
+let reg_name f r =
+  match Hashtbl.find_opt f.reg_names r with
+  | Some n -> Printf.sprintf "%s.%d" n r
+  | None -> Printf.sprintf "r%d" r
+
+let set_reg_ty f r ty = Hashtbl.replace f.reg_tys r ty
+
+let add_block f label =
+  if List.exists (fun b -> b.label = label) f.blocks then
+    invalid_arg (Printf.sprintf "Func.add_block: duplicate label %S in %s" label f.name);
+  let b = { label; insts = []; term = Inst.Unreachable } in
+  f.blocks <- f.blocks @ [ b ];
+  f.label_cache <- None;
+  b
+
+let fresh_label f base =
+  f.next_label <- f.next_label + 1;
+  Printf.sprintf "%s.%d" base f.next_label
+
+let find_block f label =
+  let cache =
+    match f.label_cache with
+    | Some c -> c
+    | None ->
+        let c = Hashtbl.create (2 * List.length f.blocks) in
+        List.iter (fun b -> Hashtbl.replace c b.label b) f.blocks;
+        f.label_cache <- Some c;
+        c
+  in
+  match Hashtbl.find_opt cache label with
+  | Some b -> b
+  | None ->
+      invalid_arg (Printf.sprintf "Func.find_block: %s has no block %S" f.name label)
+
+let entry f =
+  match f.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" f.name)
+
+let fun_ty f =
+  { ret = f.ret; params = List.map snd f.params; vararg = f.vararg }
+
+let iter_insts f k = List.iter (fun b -> List.iter (k b) b.insts) f.blocks
+
+(** Static type of an operand in the context of function [f]. *)
+let operand_ty tenv prog_global_ty prog_fun_ty f (o : Inst.operand) =
+  ignore tenv;
+  match o with
+  | Inst.Reg r -> reg_ty f r
+  | Inst.Cint (w, _) -> Int w
+  | Inst.Cfloat _ -> Float
+  | Inst.Null t -> Ptr t
+  | Inst.Global g -> Ptr (prog_global_ty g)
+  | Inst.Fun_addr fn -> Ptr (Fun (prog_fun_ty fn))

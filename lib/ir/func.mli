@@ -1,0 +1,50 @@
+(** Functions: typed virtual registers, basic blocks, parameters.
+
+    Virtual registers hold scalars only (the Chapter 2 assumption); they
+    are function-local mutable slots, freely reassigned across loop
+    iterations — which sidesteps SSA phi nodes without changing anything
+    the DPMR transformation cares about. *)
+
+open Types
+
+type block = {
+  label : string;
+  mutable insts : Inst.inst list;
+  mutable term : Inst.term;
+}
+
+type t = {
+  name : string;
+  params : (Inst.reg * ty) list;
+  ret : ty;
+  vararg : bool;
+  mutable blocks : block list;  (** entry block first *)
+  reg_tys : (Inst.reg, ty) Hashtbl.t;
+  reg_names : (Inst.reg, string) Hashtbl.t;
+  mutable next_reg : int;
+  mutable next_label : int;  (** function-wide fresh-label counter *)
+  mutable label_cache : (string, block) Hashtbl.t option;
+      (** lazily built label map; invalidated by {!add_block} *)
+}
+
+val create :
+  name:string -> params:(string * ty) list -> ret:ty -> ?vararg:bool -> unit -> t
+
+val fresh_reg : t -> ?name:string -> ty -> Inst.reg
+val reg_ty : t -> Inst.reg -> ty
+val reg_name : t -> Inst.reg -> string
+val set_reg_ty : t -> Inst.reg -> ty -> unit
+
+(** Appends a new block; raises on duplicate labels. *)
+val add_block : t -> string -> block
+
+val fresh_label : t -> string -> string
+val find_block : t -> string -> block
+val entry : t -> block
+val fun_ty : t -> fun_ty
+val iter_insts : t -> (block -> Inst.inst -> unit) -> unit
+
+(** Static type of an operand, given resolvers for global and function
+    types (used via {!Prog.operand_ty}). *)
+val operand_ty :
+  Tenv.t -> (string -> ty) -> (string -> fun_ty) -> t -> Inst.operand -> ty

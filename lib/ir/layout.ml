@@ -1,0 +1,100 @@
+(** Memory layout: sizes, alignments and field offsets.
+
+    Implements the [sizeof()] function from the dissertation's symbol list:
+    "the number of bytes of memory that are reserved when the input type is
+    allocated", including alignment padding.  Natural alignment, 8-byte
+    pointers, C-like struct packing. *)
+
+open Types
+
+let ptr_size = 8
+let ptr_align = 8
+
+let rec align_of tenv t =
+  match t with
+  | Int w -> bytes_of_width w
+  | Float -> 8
+  | Ptr _ -> ptr_align
+  | Arr (e, _) -> align_of tenv e
+  | Struct n | Union n ->
+      List.fold_left
+        (fun a f -> max a (align_of tenv f))
+        1 (Tenv.fields tenv n)
+  | Void -> invalid_arg "Layout.align_of: void"
+  | Fun _ -> invalid_arg "Layout.align_of: function type"
+
+let round_up x a = (x + a - 1) / a * a
+
+let rec size_of tenv t =
+  match t with
+  | Int w -> bytes_of_width w
+  | Float -> 8
+  | Ptr _ -> ptr_size
+  | Arr (e, n) -> n * size_of tenv e
+  | Struct n ->
+      let body = Tenv.body tenv n in
+      if body.is_union then union_size tenv body.fields
+      else struct_size tenv body.fields
+  | Union n -> union_size tenv (Tenv.fields tenv n)
+  | Void -> invalid_arg "Layout.size_of: void"
+  | Fun _ -> invalid_arg "Layout.size_of: function type"
+
+and struct_size tenv fields =
+  let off, algn =
+    List.fold_left
+      (fun (off, algn) f ->
+        let fa = align_of tenv f in
+        (round_up off fa + size_of tenv f, max algn fa))
+      (0, 1) fields
+  in
+  if off = 0 then 0 else round_up off algn
+
+and union_size tenv fields =
+  let sz = List.fold_left (fun s f -> max s (size_of tenv f)) 0 fields in
+  let algn = List.fold_left (fun a f -> max a (align_of tenv f)) 1 fields in
+  if sz = 0 then 0 else round_up sz algn
+
+(** Byte offset of field [i] in struct [name] (not meaningful for unions,
+    whose fields all live at offset 0). *)
+let field_offset tenv name i =
+  let body = Tenv.body tenv name in
+  if body.is_union then 0
+  else
+    let rec go off j = function
+      | [] -> invalid_arg "Layout.field_offset: index out of range"
+      | f :: rest ->
+          let off = round_up off (align_of tenv f) in
+          if j = i then off else go (off + size_of tenv f) (j + 1) rest
+    in
+    go 0 0 body.fields
+
+(** Offsets of every field of struct [name], in order. *)
+let field_offsets tenv name =
+  List.mapi (fun i _ -> field_offset tenv name i) (Tenv.fields tenv name)
+
+(** σ() from the symbol list: flatten [t] into the list of scalar types
+    that make up its in-memory representation, in address order (padding
+    ignored).  Used by the SDS pointer-arithmetic restrictions (§2.9) and
+    by the DSA field maps. *)
+let rec flatten_scalars tenv t =
+  match t with
+  | Int _ | Float | Ptr _ -> [ t ]
+  | Void | Fun _ -> []
+  | Arr (e, n) ->
+      let es = flatten_scalars tenv e in
+      List.concat (List.init n (fun _ -> es))
+  | Struct n | Union n ->
+      let body = Tenv.body tenv n in
+      if body.is_union then
+        (* Conservative: a union flattens to its largest member. *)
+        let largest =
+          List.fold_left
+            (fun best f ->
+              match best with
+              | None -> Some f
+              | Some b ->
+                  if size_of tenv f > size_of tenv b then Some f else best)
+            None body.fields
+        in
+        match largest with None -> [] | Some f -> flatten_scalars tenv f
+      else List.concat_map (flatten_scalars tenv) body.fields

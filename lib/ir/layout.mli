@@ -1,0 +1,27 @@
+(** Memory layout: sizes, alignments and field offsets.
+
+    Implements [sizeof()] from the dissertation's symbol list — "the
+    number of bytes reserved when the input type is allocated", including
+    alignment padding — with natural alignment, 8-byte pointers, and
+    C-like struct packing. *)
+
+open Types
+
+val ptr_size : int
+val ptr_align : int
+val round_up : int -> int -> int
+val align_of : Tenv.t -> ty -> int
+val size_of : Tenv.t -> ty -> int
+val struct_size : Tenv.t -> ty list -> int
+val union_size : Tenv.t -> ty list -> int
+
+(** Byte offset of field [i] of struct [name] (0 for union members). *)
+val field_offset : Tenv.t -> string -> int -> int
+
+(** Offsets of every field of struct [name], in declaration order. *)
+val field_offsets : Tenv.t -> string -> int list
+
+(** σ() from the symbol list: flatten a type into the scalar types that
+    make up its in-memory representation, in address order.  Used by the
+    SDS pointer-arithmetic restrictions (§2.9) and the DSA field maps. *)
+val flatten_scalars : Tenv.t -> ty -> ty list

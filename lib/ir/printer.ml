@@ -1,0 +1,111 @@
+(** Human-readable printing of IR programs (LLVM-flavoured syntax).  Used
+    by the CLI's [transform --dump] and by tests that check transformation
+    structure. *)
+
+open Types
+open Inst
+
+let pp_operand f ppf = function
+  | Reg r -> Fmt.pf ppf "%%%s" (Func.reg_name f r)
+  | Cint (w, v) -> Fmt.pf ppf "i%d %Ld" (bits_of_width w) v
+  | Cfloat x -> Fmt.pf ppf "f64 %g" x
+  | Null t -> Fmt.pf ppf "null(%a*)" Types.pp t
+  | Global g -> Fmt.pf ppf "@%s" g
+  | Fun_addr fn -> Fmt.pf ppf "&%s" fn
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv"
+  | Srem -> "srem" | Udiv -> "udiv" | Urem -> "urem" | And -> "and"
+  | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let fbinop_name = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let icond_name = function
+  | Ieq -> "eq" | Ine -> "ne" | Islt -> "slt" | Isle -> "sle" | Isgt -> "sgt"
+  | Isge -> "sge" | Iult -> "ult" | Iule -> "ule" | Iugt -> "ugt" | Iuge -> "uge"
+
+let fcond_name = function
+  | Foeq -> "oeq" | Fone -> "one" | Folt -> "olt" | Fole -> "ole"
+  | Fogt -> "ogt" | Foge -> "oge"
+
+let pp_inst f ppf inst =
+  let op = pp_operand f in
+  let def r = Fmt.str "%%%s" (Func.reg_name f r) in
+  match inst with
+  | Malloc (r, t, n) -> Fmt.pf ppf "%s = malloc %a, %a" (def r) Types.pp t op n
+  | Alloca (r, t, n) -> Fmt.pf ppf "%s = alloca %a, %a" (def r) Types.pp t op n
+  | Free p -> Fmt.pf ppf "free %a" op p
+  | Load (r, t, p) -> Fmt.pf ppf "%s = load %a, %a" (def r) Types.pp t op p
+  | Store (t, v, p) -> Fmt.pf ppf "store %a %a, %a" Types.pp t op v op p
+  | Gep_field (r, s, p, i) -> Fmt.pf ppf "%s = gep_field %%%s, %a, %d" (def r) s op p i
+  | Gep_index (r, e, p, i) ->
+      Fmt.pf ppf "%s = gep_index %a, %a, %a" (def r) Types.pp e op p op i
+  | Bitcast (r, t, p) -> Fmt.pf ppf "%s = bitcast %a to %a" (def r) op p Types.pp t
+  | Ptr_to_int (r, p) -> Fmt.pf ppf "%s = ptrtoint %a" (def r) op p
+  | Int_to_ptr (r, t, v) -> Fmt.pf ppf "%s = inttoptr %a to %a" (def r) op v Types.pp t
+  | Binop (r, o, w, a, b) ->
+      Fmt.pf ppf "%s = %s i%d %a, %a" (def r) (binop_name o) (bits_of_width w) op a op b
+  | Fbinop (r, o, a, b) -> Fmt.pf ppf "%s = %s %a, %a" (def r) (fbinop_name o) op a op b
+  | Icmp (r, c, w, a, b) ->
+      Fmt.pf ppf "%s = icmp %s i%d %a, %a" (def r) (icond_name c) (bits_of_width w) op a op b
+  | Fcmp (r, c, a, b) -> Fmt.pf ppf "%s = fcmp %s %a, %a" (def r) (fcond_name c) op a op b
+  | Int_cast (r, w, s, v) ->
+      Fmt.pf ppf "%s = %s %a to i%d" (def r) (if s then "sext/trunc" else "zext/trunc")
+        op v (bits_of_width w)
+  | F_to_i (r, w, v) -> Fmt.pf ppf "%s = fptosi %a to i%d" (def r) op v (bits_of_width w)
+  | I_to_f (r, _, v) -> Fmt.pf ppf "%s = sitofp %a" (def r) op v
+  | Call (r, callee, args) ->
+      let cs = match callee with Direct n -> n | Indirect o -> Fmt.str "*%a" op o in
+      let pre = match r with Some r -> Fmt.str "%s = " (def r) | None -> "" in
+      Fmt.pf ppf "%scall %s(%a)" pre cs Fmt.(list ~sep:(any ", ") op) args
+  | Select (r, t, c, a, b) ->
+      Fmt.pf ppf "%s = select %a %a, %a, %a" (def r) Types.pp t op c op a op b
+
+let pp_term f ppf = function
+  | Br l -> Fmt.pf ppf "br %s" l
+  | Cbr (c, l1, l2) -> Fmt.pf ppf "cbr %a, %s, %s" (pp_operand f) c l1 l2
+  | Ret None -> Fmt.string ppf "ret void"
+  | Ret (Some o) -> Fmt.pf ppf "ret %a" (pp_operand f) o
+  | Unreachable -> Fmt.string ppf "unreachable"
+
+let pp_func ppf (f : Func.t) =
+  Fmt.pf ppf "define %a @%s(%a)%s {@\n" Types.pp f.ret f.name
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (r, t) ->
+          pf ppf "%a %%%s" Types.pp t (Func.reg_name f r)))
+    f.params
+    (if f.vararg then " vararg" else "");
+  List.iter
+    (fun (b : Func.block) ->
+      Fmt.pf ppf "%s:@\n" b.label;
+      List.iter (fun i -> Fmt.pf ppf "  %a@\n" (pp_inst f) i) b.insts;
+      Fmt.pf ppf "  %a@\n" (pp_term f) b.term)
+    f.blocks;
+  Fmt.pf ppf "}@\n"
+
+let rec pp_ginit ppf = function
+  | Prog.Gzero -> Fmt.string ppf "zeroinit"
+  | Prog.Gint v -> Fmt.pf ppf "%Ld" v
+  | Prog.Gfloat x -> Fmt.pf ppf "%g" x
+  | Prog.Gptr_null -> Fmt.string ppf "null"
+  | Prog.Gptr_global g -> Fmt.pf ppf "@%s" g
+  | Prog.Gptr_fun fn -> Fmt.pf ppf "&%s" fn
+  | Prog.Gstring s -> Fmt.pf ppf "%S" s
+  | Prog.Gagg gs -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_ginit) gs
+
+let pp_prog ppf (p : Prog.t) =
+  Tenv.iter p.tenv (fun name body ->
+      Fmt.pf ppf "%%%s = %s { %a }@\n" name
+        (if body.is_union then "union" else "struct")
+        Fmt.(list ~sep:(any ", ") Types.pp)
+        body.fields);
+  Prog.iter_globals p (fun g ->
+      Fmt.pf ppf "@%s : %a = %a@\n" g.gname Types.pp g.gty pp_ginit g.ginit);
+  Hashtbl.iter
+    (fun name ft -> Fmt.pf ppf "declare %a @%s@\n" Types.pp (Fun ft) name)
+    p.externs;
+  Prog.iter_funcs p (fun f -> Fmt.pf ppf "@\n%a" pp_func f)
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let prog_to_string p = Fmt.str "%a" pp_prog p

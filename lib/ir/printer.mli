@@ -1,0 +1,10 @@
+(** Human-readable printing of IR programs (LLVM-flavoured syntax). *)
+
+val pp_operand : Func.t -> Format.formatter -> Inst.operand -> unit
+val pp_inst : Func.t -> Format.formatter -> Inst.inst -> unit
+val pp_term : Func.t -> Format.formatter -> Inst.term -> unit
+val pp_func : Format.formatter -> Func.t -> unit
+val pp_ginit : Format.formatter -> Prog.ginit -> unit
+val pp_prog : Format.formatter -> Prog.t -> unit
+val func_to_string : Func.t -> string
+val prog_to_string : Prog.t -> string

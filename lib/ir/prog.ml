@@ -1,0 +1,92 @@
+(** A whole program: type environment, global variables, functions, and
+    declared-but-not-defined external functions.
+
+    Global variables follow the Chapter 2 assumption: a global *name*
+    denotes the address of its storage (i.e. all globals are pointers to
+    memory).  Initialization is structural data that the DPMR
+    transformation rewrites like a series of compile-time stores. *)
+
+open Types
+
+(** Structural initializer for a global. *)
+type ginit =
+  | Gzero
+  | Gint of int64
+  | Gfloat of float
+  | Gptr_null
+  | Gptr_global of string  (** address of another global *)
+  | Gptr_fun of string  (** address of a function *)
+  | Gstring of string  (** NUL-terminated byte string (for [Arr (i8, _)]) *)
+  | Gagg of ginit list  (** struct or array elementwise initializer *)
+
+type global = { gname : string; gty : ty; mutable ginit : ginit }
+
+type t = {
+  tenv : Tenv.t;
+  globals : (string, global) Hashtbl.t;
+  mutable global_order : string list;  (** declaration order, for layout *)
+  funcs : (string, Func.t) Hashtbl.t;
+  mutable func_order : string list;
+  externs : (string, fun_ty) Hashtbl.t;
+      (** external functions: known signature, no body — dispatched to the
+          VM's external table (mini-libc or DPMR wrappers) *)
+}
+
+let create ?tenv () =
+  {
+    tenv = (match tenv with Some t -> t | None -> Tenv.create ());
+    globals = Hashtbl.create 16;
+    global_order = [];
+    funcs = Hashtbl.create 16;
+    func_order = [];
+    externs = Hashtbl.create 16;
+  }
+
+let add_global p g =
+  if Hashtbl.mem p.globals g.gname then
+    invalid_arg (Printf.sprintf "Prog.add_global: duplicate %S" g.gname);
+  Hashtbl.replace p.globals g.gname g;
+  p.global_order <- p.global_order @ [ g.gname ]
+
+let global p name =
+  match Hashtbl.find_opt p.globals name with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Prog.global: undefined %S" name)
+
+let global_ty p name = (global p name).gty
+let has_global p name = Hashtbl.mem p.globals name
+
+let add_func p (f : Func.t) =
+  if Hashtbl.mem p.funcs f.name then
+    invalid_arg (Printf.sprintf "Prog.add_func: duplicate %S" f.name);
+  Hashtbl.replace p.funcs f.name f;
+  p.func_order <- p.func_order @ [ f.name ]
+
+let remove_func p name =
+  Hashtbl.remove p.funcs name;
+  p.func_order <- List.filter (fun n -> n <> name) p.func_order
+
+let func p name =
+  match Hashtbl.find_opt p.funcs name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Prog.func: undefined %S" name)
+
+let has_func p name = Hashtbl.mem p.funcs name
+
+let declare_extern p name ft = Hashtbl.replace p.externs name ft
+
+let is_extern p name = (not (Hashtbl.mem p.funcs name)) && Hashtbl.mem p.externs name
+
+(** Signature of any callable name: defined functions first, then externs. *)
+let fun_sig p name =
+  match Hashtbl.find_opt p.funcs name with
+  | Some f -> Func.fun_ty f
+  | None -> (
+      match Hashtbl.find_opt p.externs name with
+      | Some ft -> ft
+      | None -> invalid_arg (Printf.sprintf "Prog.fun_sig: unknown function %S" name))
+
+let iter_funcs p k = List.iter (fun n -> k (func p n)) p.func_order
+let iter_globals p k = List.iter (fun n -> k (global p n)) p.global_order
+
+let operand_ty p f o = Func.operand_ty p.tenv (global_ty p) (fun_sig p) f o

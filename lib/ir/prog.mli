@@ -1,0 +1,58 @@
+(** A whole program: type environment, global variables, functions, and
+    declared external functions.
+
+    A global {e name} denotes the address of its storage (the Chapter 2
+    assumption that all globals are pointers to memory).  Initialization
+    is structural data that the DPMR transformation rewrites like a
+    series of compile-time stores. *)
+
+open Types
+
+(** Structural initializer for a global. *)
+type ginit =
+  | Gzero
+  | Gint of int64
+  | Gfloat of float
+  | Gptr_null
+  | Gptr_global of string  (** address of another global *)
+  | Gptr_fun of string  (** address of a function *)
+  | Gstring of string  (** NUL-terminated bytes, for [Arr (i8, _)] *)
+  | Gagg of ginit list  (** struct or array, elementwise *)
+
+type global = { gname : string; gty : ty; mutable ginit : ginit }
+
+type t = {
+  tenv : Tenv.t;
+  globals : (string, global) Hashtbl.t;
+  mutable global_order : string list;  (** declaration order, for layout *)
+  funcs : (string, Func.t) Hashtbl.t;
+  mutable func_order : string list;
+  externs : (string, fun_ty) Hashtbl.t;
+      (** external functions: known signature, no body — dispatched to the
+          VM's extern table (mini-libc, intrinsics, or DPMR wrappers) *)
+}
+
+val create : ?tenv:Tenv.t -> unit -> t
+
+val add_global : t -> global -> unit
+val global : t -> string -> global
+val global_ty : t -> string -> ty
+val has_global : t -> string -> bool
+
+val add_func : t -> Func.t -> unit
+val remove_func : t -> string -> unit
+val func : t -> string -> Func.t
+val has_func : t -> string -> bool
+
+val declare_extern : t -> string -> fun_ty -> unit
+val is_extern : t -> string -> bool
+
+(** Signature of any callable name: defined functions shadow externs. *)
+val fun_sig : t -> string -> fun_ty
+
+val iter_funcs : t -> (Func.t -> unit) -> unit
+val iter_globals : t -> (global -> unit) -> unit
+
+(** Static type of an operand in the context of a function of this
+    program. *)
+val operand_ty : t -> Func.t -> Inst.operand -> ty

@@ -1,0 +1,11 @@
+(** Textual IR: a parseable serialization of whole programs.
+
+    [emit] and [parse] round-trip: [parse (emit p)] has behaviour
+    identical to [p] (verified over every workload and over randomly
+    generated programs in the test suite).  '#' starts a line comment. *)
+
+exception Parse_error of int * string
+(** (line number, message) *)
+
+val emit : Prog.t -> string
+val parse : string -> Prog.t

@@ -1,0 +1,158 @@
+(** The IR type system.
+
+    This is exactly the type system the dissertation assumes at the start of
+    Chapter 2: primitive integer types of predefined sizes, one floating
+    point type, [void], and five derived types — pointers, structures,
+    unions, arrays and functions.  Arrays do not decay to pointers; all
+    pointers have one predefined size.  Structures and unions are *named*
+    and their bodies live in a type environment ({!Tenv}), which is how we
+    represent the recursive types (e.g. linked lists) that the shadow-type
+    algorithms of Figures 2.5–2.8 must handle. *)
+
+type width = W8 | W16 | W32 | W64
+
+type ty =
+  | Int of width
+  | Float  (** 64-bit IEEE float *)
+  | Void
+  | Ptr of ty
+  | Arr of ty * int  (** element type and static count; no pointer decay *)
+  | Struct of string  (** named structure; body resolved via {!Tenv} *)
+  | Union of string  (** named union; body resolved via {!Tenv} *)
+  | Fun of fun_ty
+
+and fun_ty = {
+  ret : ty;
+  params : ty list;
+  vararg : bool;  (** true for C-style variable-length argument lists *)
+}
+
+let i8 = Int W8
+let i16 = Int W16
+let i32 = Int W32
+let i64 = Int W64
+let ptr t = Ptr t
+let arr t n = Arr (t, n)
+
+let fun_ty ?(vararg = false) ret params = Fun { ret; params; vararg }
+
+let bits_of_width = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
+let bytes_of_width = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+
+let is_pointer = function Ptr _ -> true | _ -> false
+let is_scalar = function Int _ | Float | Ptr _ -> true | _ -> false
+
+(** Aggregate body of a named structure or union. *)
+type agg_body = { fields : ty list; is_union : bool }
+
+(** Type environment: named struct/union bodies.
+
+    A name may be *declared* (opaque) before it is *defined*; this is what
+    lets us build recursive types, and what the shadow-type computation
+    uses for placeholder resolution (§2.2). *)
+module Tenv = struct
+  type t = {
+    bodies : (string, agg_body) Hashtbl.t;
+    mutable fresh : int;  (** counter for generated type names *)
+  }
+
+  let create () = { bodies = Hashtbl.create 64; fresh = 0 }
+
+  let copy t = { bodies = Hashtbl.copy t.bodies; fresh = t.fresh }
+
+  let declare_struct t name =
+    if not (Hashtbl.mem t.bodies name) then
+      Hashtbl.replace t.bodies name { fields = []; is_union = false }
+
+  let define_struct t name fields =
+    Hashtbl.replace t.bodies name { fields; is_union = false }
+
+  let define_union t name fields =
+    Hashtbl.replace t.bodies name { fields; is_union = true }
+
+  let is_defined t name = Hashtbl.mem t.bodies name
+
+  let body t name =
+    match Hashtbl.find_opt t.bodies name with
+    | Some b -> b
+    | None -> invalid_arg (Printf.sprintf "Tenv.body: undefined type %S" name)
+
+  let fields t name = (body t name).fields
+
+  (** Fresh type name, used by the shadow-type algorithms when they must
+      mint a name for a generated struct (e.g. [LinkedListSdwTy]). *)
+  let fresh_name t base =
+    t.fresh <- t.fresh + 1;
+    Printf.sprintf "%s.%d" base t.fresh
+
+  let iter t f = Hashtbl.iter (fun name body -> f name body) t.bodies
+  let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.bodies []
+end
+
+(** [contains_pointer_outside_fun_ty tenv t] is the predicate used by the
+    short-circuit check of Figure 2.5, line 17: does [t] transitively
+    contain a pointer, not counting pointers that only occur inside
+    function types?  Recursion through named structs terminates via a
+    visited set (a recursive struct can only recur through a pointer, and
+    a pointer answers immediately). *)
+let contains_pointer_outside_fun_ty tenv t =
+  let visited = Hashtbl.create 8 in
+  let rec go t =
+    match t with
+    | Ptr _ -> true
+    | Int _ | Float | Void | Fun _ -> false
+    | Arr (e, _) -> go e
+    | Struct n | Union n ->
+        if Hashtbl.mem visited n then false
+        else begin
+          Hashtbl.add visited n ();
+          List.exists go (Tenv.fields tenv n)
+        end
+  in
+  go t
+
+(** Structural equality of types, unfolding named aggregates (used by the
+    verifier and by tests; coinductive on recursive types). *)
+let struct_eq tenv a b =
+  let seen = Hashtbl.create 8 in
+  let rec go a b =
+    match (a, b) with
+    | Int w1, Int w2 -> w1 = w2
+    | Float, Float | Void, Void -> true
+    | Ptr a, Ptr b -> go a b
+    | Arr (a, n), Arr (b, m) -> n = m && go a b
+    | Fun f, Fun g ->
+        f.vararg = g.vararg
+        && List.length f.params = List.length g.params
+        && go f.ret g.ret
+        && List.for_all2 go f.params g.params
+    | (Struct n1 | Union n1), (Struct n2 | Union n2) ->
+        let u1 = (Tenv.body tenv n1).is_union
+        and u2 = (Tenv.body tenv n2).is_union in
+        u1 = u2
+        &&
+        if n1 = n2 || Hashtbl.mem seen (n1, n2) then true
+        else begin
+          Hashtbl.add seen (n1, n2) ();
+          let f1 = Tenv.fields tenv n1 and f2 = Tenv.fields tenv n2 in
+          List.length f1 = List.length f2 && List.for_all2 go f1 f2
+        end
+    | _ -> false
+  in
+  go a b
+
+let rec pp ppf = function
+  | Int w -> Fmt.pf ppf "i%d" (bits_of_width w)
+  | Float -> Fmt.string ppf "f64"
+  | Void -> Fmt.string ppf "void"
+  | Ptr t -> Fmt.pf ppf "%a*" pp t
+  | Arr (t, n) -> Fmt.pf ppf "[%d x %a]" n pp t
+  | Struct n -> Fmt.pf ppf "%%%s" n
+  | Union n -> Fmt.pf ppf "union.%%%s" n
+  | Fun { ret; params; vararg } ->
+      Fmt.pf ppf "%a(%a%s)" pp ret
+        Fmt.(list ~sep:(any ", ") pp)
+        params
+        (if vararg then ", ..." else "")
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,94 @@
+(** The IR type system.
+
+    Exactly the type system the dissertation assumes at the start of
+    Chapter 2: primitive integers of predefined sizes, one floating point
+    type, [void], and five derived types — pointers, structures, unions,
+    arrays and function types.  Arrays do not decay to pointers; all
+    pointers share one predefined size.  Structures and unions are
+    {e named}; their bodies live in a type environment ({!Tenv}), which is
+    how recursive types (e.g. linked lists) are represented and how the
+    shadow-type algorithms of Figures 2.5–2.8 implement placeholder
+    resolution. *)
+
+type width = W8 | W16 | W32 | W64
+
+type ty =
+  | Int of width
+  | Float  (** 64-bit IEEE float *)
+  | Void
+  | Ptr of ty
+  | Arr of ty * int  (** element type and static count; no pointer decay *)
+  | Struct of string  (** named structure; body resolved via {!Tenv} *)
+  | Union of string  (** named union; body resolved via {!Tenv} *)
+  | Fun of fun_ty
+
+and fun_ty = {
+  ret : ty;
+  params : ty list;
+  vararg : bool;  (** true for C-style variable-length argument lists *)
+}
+
+(** {1 Constructors} *)
+
+val i8 : ty
+val i16 : ty
+val i32 : ty
+val i64 : ty
+val ptr : ty -> ty
+val arr : ty -> int -> ty
+val fun_ty : ?vararg:bool -> ty -> ty list -> ty
+
+(** {1 Width helpers} *)
+
+val bits_of_width : width -> int
+val bytes_of_width : width -> int
+
+(** {1 Predicates} *)
+
+val is_pointer : ty -> bool
+
+(** A scalar is what a virtual register can hold and what one load or
+    store moves: an integer, a float, or a pointer. *)
+val is_scalar : ty -> bool
+
+(** {1 Type environment} *)
+
+(** Aggregate body of a named structure or union. *)
+type agg_body = { fields : ty list; is_union : bool }
+
+module Tenv : sig
+  type t
+
+  val create : unit -> t
+  val copy : t -> t
+
+  (** Declare a struct name without a body (opaque); later
+      {!define_struct} supplies the fields.  This is the recursion /
+      placeholder mechanism. *)
+  val declare_struct : t -> string -> unit
+
+  val define_struct : t -> string -> ty list -> unit
+  val define_union : t -> string -> ty list -> unit
+  val is_defined : t -> string -> bool
+  val body : t -> string -> agg_body
+  val fields : t -> string -> ty list
+
+  (** Mint a unique type name with the given base (used when the
+      shadow-type computation creates named structs). *)
+  val fresh_name : t -> string -> string
+
+  val iter : t -> (string -> agg_body -> unit) -> unit
+  val names : t -> string list
+end
+
+(** The predicate behind the Figure 2.5 line 17 short-circuit: does [t]
+    transitively contain a pointer, not counting pointers that occur only
+    inside function types? *)
+val contains_pointer_outside_fun_ty : Tenv.t -> ty -> bool
+
+(** Structural type equality, unfolding named aggregates (coinductive on
+    recursive types). *)
+val struct_eq : Tenv.t -> ty -> ty -> bool
+
+val pp : Format.formatter -> ty -> unit
+val to_string : ty -> string

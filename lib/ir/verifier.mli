@@ -1,0 +1,12 @@
+(** Well-formedness checker for IR programs.
+
+    Catches construction mistakes that would otherwise surface as
+    confusing interpreter traps: ill-typed register assignments, loads and
+    stores of non-scalar types, branches to missing labels, arity
+    mismatches, use of undeclared functions.  All workloads and all
+    transformed programs are verified in the test suite. *)
+
+exception Ill_formed of string
+
+val check_func : Prog.t -> Func.t -> unit
+val check_prog : Prog.t -> unit

@@ -1,0 +1,157 @@
+(** Simulated flat 64-bit address space with demand-mapped 4 KiB pages.
+
+    Segment map (chosen so that wild pointers usually land in unmapped
+    territory and fault, while overflows between neighbouring objects
+    corrupt silently — the two behaviours §2.5 distinguishes):
+
+    {v
+      [0, 0x10000)               guard: never mapped (null page)
+      [0x0001_0000, ...)         globals, laid out at load time
+      [0x4000_0000, ...)         stack, grows upward
+      [0x8000_0000, ...)         heap wilderness
+    v}
+
+    Accesses to an unmapped page raise {!Fault}, which the VM reports as a
+    crash (a *naturally detected* error in the dissertation's metric
+    vocabulary, §3.6).  Pages are filled with deterministic garbage when
+    first mapped, so uninitialized heap/stack reads see arbitrary — but
+    reproducible — data. *)
+
+type fault =
+  | Unmapped of int64  (** access to an address with no mapped page *)
+  | Invalid_free of int64  (** free of a non-chunk address (allocator check) *)
+  | Double_free of int64  (** free of an already-free chunk *)
+
+exception Fault of fault
+
+let fault_to_string = function
+  | Unmapped a -> Printf.sprintf "segfault at 0x%Lx" a
+  | Invalid_free a -> Printf.sprintf "invalid free of 0x%Lx" a
+  | Double_free a -> Printf.sprintf "double free of 0x%Lx" a
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+let globals_base = 0x0001_0000L
+let stack_base = 0x4000_0000L
+let heap_base = 0x8000_0000L
+
+type fill = Fill_zero | Fill_garbage
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  seed : int64;
+  mutable mapped_pages : int;  (** footprint statistic *)
+}
+
+let create ?(seed = 1L) () = { pages = Hashtbl.create 1024; seed; mapped_pages = 0 }
+
+let page_index addr = Int64.to_int (Int64.shift_right_logical addr page_bits)
+
+let map_page t idx fill =
+  if not (Hashtbl.mem t.pages idx) then begin
+    let page = Bytes.create page_size in
+    (match fill with
+    | Fill_zero -> Bytes.fill page 0 page_size '\000'
+    | Fill_garbage ->
+        for i = 0 to (page_size / 8) - 1 do
+          let v = Rng.hash2 idx (i + Int64.to_int t.seed) in
+          Bytes.set_int64_le page (i * 8) v
+        done);
+    Hashtbl.replace t.pages idx page;
+    t.mapped_pages <- t.mapped_pages + 1
+  end
+
+(** Map every page overlapping [addr, addr+len). *)
+let map_range t addr len fill =
+  if len > 0 then
+    let first = page_index addr
+    and last = page_index (Int64.add addr (Int64.of_int (len - 1))) in
+    for idx = first to last do
+      map_page t idx fill
+    done
+
+let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
+
+let get_page t addr =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | Some p -> p
+  | None -> raise (Fault (Unmapped addr))
+
+let offset addr = Int64.to_int (Int64.logand addr 0xFFFL)
+
+(* Byte accessors.  Multi-byte accesses may straddle a page boundary; the
+   fast path (fully within one page) covers virtually all accesses. *)
+
+let read_u8 t addr = Char.code (Bytes.get (get_page t addr) (offset addr))
+
+let write_u8 t addr v =
+  Bytes.set (get_page t addr) (offset addr) (Char.chr (v land 0xFF))
+
+let rec read_bytes t addr len =
+  let off = offset addr in
+  if off + len <= page_size then Bytes.sub (get_page t addr) off len
+  else
+    let first = page_size - off in
+    let a = Bytes.sub (get_page t addr) off first in
+    let b = read_bytes t (Int64.add addr (Int64.of_int first)) (len - first) in
+    Bytes.cat a b
+
+let rec write_bytes t addr b pos len =
+  let off = offset addr in
+  if off + len <= page_size then Bytes.blit b pos (get_page t addr) off len
+  else begin
+    let first = page_size - off in
+    Bytes.blit b pos (get_page t addr) off first;
+    write_bytes t (Int64.add addr (Int64.of_int first)) b (pos + first) (len - first)
+  end
+
+let read_int t addr len =
+  let off = offset addr in
+  if off + len <= page_size then
+    let page = get_page t addr in
+    match len with
+    | 1 -> Int64.of_int (Char.code (Bytes.get page off))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le page off)
+    | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le page off)) 0xFFFFFFFFL
+    | 8 -> Bytes.get_int64_le page off
+    | _ -> invalid_arg "Mem.read_int: bad length"
+  else
+    (* straddling access: byte-at-a-time *)
+    let rec go i acc =
+      if i = len then acc
+      else
+        let b = Int64.of_int (read_u8 t (Int64.add addr (Int64.of_int i))) in
+        go (i + 1) (Int64.logor acc (Int64.shift_left b (8 * i)))
+    in
+    go 0 0L
+
+let write_int t addr len v =
+  let off = offset addr in
+  if off + len <= page_size then
+    let page = get_page t addr in
+    match len with
+    | 1 -> Bytes.set page off (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+    | 2 -> Bytes.set_uint16_le page off (Int64.to_int (Int64.logand v 0xFFFFL))
+    | 4 -> Bytes.set_int32_le page off (Int64.to_int32 v)
+    | 8 -> Bytes.set_int64_le page off v
+    | _ -> invalid_arg "Mem.write_int: bad length"
+  else
+    for i = 0 to len - 1 do
+      write_u8 t
+        (Int64.add addr (Int64.of_int i))
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+    done
+
+let read_f64 t addr = Int64.float_of_bits (read_int t addr 8)
+let write_f64 t addr v = write_int t addr 8 (Int64.bits_of_float v)
+
+let fill t addr len byte =
+  for i = 0 to len - 1 do
+    write_u8 t (Int64.add addr (Int64.of_int i)) byte
+  done
+
+(** memmove semantics (overlap-safe). *)
+let move t ~dst ~src len =
+  let b = read_bytes t src len in
+  write_bytes t dst b 0 len

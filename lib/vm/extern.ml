@@ -1,0 +1,326 @@
+(** Base external functions: a mini-libc plus the VM intrinsics DPMR's
+    generated code uses.
+
+    Untransformed (golden / fi-stdapp) programs call these directly.
+    DPMR-transformed programs call [<name>_efw] external function wrappers
+    instead, registered by [Dpmr_core.Ext_wrappers]; those wrappers
+    delegate the underlying behaviour to the implementations here. *)
+
+open Dpmr_memsim
+
+let as_int = Vm.as_int
+let as_float = Vm.as_float
+
+(** Read a NUL-terminated string at [addr] (bounded, to keep runaway reads
+    from looping forever on garbage). *)
+let read_cstring vm addr =
+  let buf = Buffer.create 16 in
+  let rec go a n =
+    if n > 1_000_000 then raise (Vm.Vm_error "unterminated string");
+    let c = Mem.read_u8 vm.Vm.mem a in
+    if c = 0 then Buffer.contents buf
+    else begin
+      Buffer.add_char buf (Char.chr c);
+      go (Int64.add a 1L) (n + 1)
+    end
+  in
+  go addr 0
+
+let cstring_len vm addr =
+  let rec go a n =
+    if n > 1_000_000 then raise (Vm.Vm_error "unterminated string")
+    else if Mem.read_u8 vm.Vm.mem a = 0 then n
+    else go (Int64.add a 1L) (n + 1)
+  in
+  go addr 0
+
+let arg n args =
+  match List.nth_opt args n with
+  | Some v -> v
+  | None -> raise (Vm.Vm_error (Printf.sprintf "extern: missing argument %d" n))
+
+let iarg n args = as_int (arg n args)
+let farg n args = as_float (arg n args)
+
+(* ---------------- mini-libc implementations (shared with wrappers) --- *)
+
+let impl_strlen vm s = cstring_len vm s
+
+let impl_strcpy vm ~dst ~src =
+  let len = cstring_len vm src in
+  Vm.add_cost vm (len + 4);
+  Mem.move vm.Vm.mem ~dst ~src (len + 1);
+  len
+
+let impl_strcmp vm a b =
+  let rec go i =
+    let ca = Mem.read_u8 vm.Vm.mem (Int64.add a (Int64.of_int i))
+    and cb = Mem.read_u8 vm.Vm.mem (Int64.add b (Int64.of_int i)) in
+    if ca <> cb then ((compare ca cb), i + 1)
+    else if ca = 0 then (0, i + 1)
+    else go (i + 1)
+  in
+  let r, read = go 0 in
+  Vm.add_cost vm (read + 2);
+  (r, read)
+
+let impl_memcpy vm ~dst ~src n =
+  Vm.add_cost vm ((n / 8) + 4);
+  Mem.move vm.Vm.mem ~dst ~src n
+
+let impl_memset vm dst byte n =
+  Vm.add_cost vm ((n / 8) + 4);
+  Mem.fill vm.Vm.mem dst n (byte land 0xFF)
+
+(** atoi-style parse; returns (value, chars_consumed). *)
+let impl_atoi vm s =
+  let rec skip a n =
+    let c = Mem.read_u8 vm.Vm.mem a in
+    if c = Char.code ' ' then skip (Int64.add a 1L) (n + 1) else (a, n)
+  in
+  let a, skipped = skip s 0 in
+  let neg = Mem.read_u8 vm.Vm.mem a = Char.code '-' in
+  let a = if neg then Int64.add a 1L else a in
+  let rec go a acc n =
+    let c = Mem.read_u8 vm.Vm.mem a in
+    if c >= Char.code '0' && c <= Char.code '9' then
+      go (Int64.add a 1L) (Int64.add (Int64.mul acc 10L) (Int64.of_int (c - 48))) (n + 1)
+    else (acc, n)
+  in
+  let v, digits = go a 0L 0 in
+  Vm.add_cost vm (digits + 4);
+  ((if neg then Int64.neg v else v), skipped + (if neg then 1 else 0) + digits)
+
+(** calloc cost: allocation plus the zeroing pass. *)
+let dpmr_vm_cost_calloc bytes = Cost.malloc_cost bytes + (bytes / 8)
+
+(** realloc: allocate-copy-free semantics (the simplest conforming
+    implementation; chunk reuse is the allocator's business). *)
+let impl_realloc vm p n =
+  let n = max 1 n in
+  if Int64.equal p 0L then begin
+    Vm.add_cost vm (Cost.malloc_cost n);
+    Allocator.malloc vm.Vm.alloc n
+  end
+  else begin
+    let old = Allocator.usable_size vm.Vm.alloc p in
+    let q = Allocator.malloc vm.Vm.alloc n in
+    let keep = min old n in
+    Mem.move vm.Vm.mem ~dst:q ~src:p keep;
+    Allocator.free vm.Vm.alloc p;
+    Vm.add_cost vm (Cost.malloc_cost n + (keep / 8) + Cost.free_cost);
+    q
+  end
+
+(* qsort over the simulated memory, calling back into the IR comparator.
+   Implemented as an in-place insertion-free merge via an OCaml array of
+   element blobs; the comparator sees addresses of scratch copies placed
+   in fresh heap space, like a real qsort would pass element pointers. *)
+let impl_qsort vm ~base ~nmemb ~size ~cmp_name =
+  let elems =
+    Array.init nmemb (fun i ->
+        Mem.read_bytes vm.Vm.mem
+          (Int64.add base (Int64.of_int (i * size)))
+          size)
+  in
+  let scratch_a = Allocator.malloc vm.Vm.alloc size in
+  let scratch_b = Allocator.malloc vm.Vm.alloc size in
+  let compare_blobs a b =
+    Mem.write_bytes vm.Vm.mem scratch_a a 0 size;
+    Mem.write_bytes vm.Vm.mem scratch_b b 0 size;
+    Vm.add_cost vm 8;
+    match Vm.call_function vm cmp_name [ Vm.I scratch_a; Vm.I scratch_b ] with
+    | Some (Vm.I r) -> Int64.to_int (Vm.sign_extend Dpmr_ir.Types.W32 r)
+    | _ -> raise (Vm.Vm_error "qsort comparator did not return an int")
+  in
+  Array.sort compare_blobs elems;
+  Array.iteri
+    (fun i blob ->
+      Mem.write_bytes vm.Vm.mem (Int64.add base (Int64.of_int (i * size))) blob 0 size)
+    elems;
+  Allocator.free vm.Vm.alloc scratch_a;
+  Allocator.free vm.Vm.alloc scratch_b;
+  Vm.add_cost vm (nmemb * (size / 8) * 4)
+
+(** printf-style formatting over simulated memory.  Returns the rendered
+    string and, for each [%s] conversion, the (argument index, string
+    address, bytes read) — the DPMR wrapper needs those to perform its
+    load checks (§3.1.5). *)
+let impl_printf vm fmt_addr (vargs : Vm.value array) =
+  let fmt = read_cstring vm fmt_addr in
+  let buf = Buffer.create 32 in
+  let reads = ref [] in
+  let argi = ref 0 in
+  let pop () =
+    let i = !argi in
+    incr argi;
+    if i >= Array.length vargs then raise (Vm.Vm_error "printf: too few arguments")
+    else (i, vargs.(i))
+  in
+  let n = String.length fmt in
+  let rec go i =
+    if i < n then
+      if fmt.[i] = '%' && i + 1 < n then begin
+        (match fmt.[i + 1] with
+        | '%' -> Buffer.add_char buf '%'
+        | 'd' | 'i' | 'l' | 'u' ->
+            let _, v = pop () in
+            Buffer.add_string buf (Int64.to_string (as_int v))
+        | 'f' | 'g' | 'e' ->
+            let _, v = pop () in
+            Buffer.add_string buf (Printf.sprintf "%.6g" (as_float v))
+        | 'c' ->
+            let _, v = pop () in
+            Buffer.add_char buf (Char.chr (Int64.to_int (as_int v) land 0xFF))
+        | 'p' ->
+            let _, v = pop () in
+            Buffer.add_string buf (Printf.sprintf "0x%Lx" (as_int v))
+        | 's' ->
+            let idx, v = pop () in
+            let addr = as_int v in
+            let s = read_cstring vm addr in
+            reads := (idx, addr, String.length s + 1) :: !reads;
+            Buffer.add_string buf s
+        | c -> raise (Vm.Vm_error (Printf.sprintf "printf: unsupported %%%c" c)));
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf fmt.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Vm.add_cost vm (Buffer.length buf + 4);
+  (Buffer.contents buf, List.rev !reads)
+
+(* ---------------- registration ---------------- *)
+
+let out vm s = Buffer.add_string vm.Vm.out s
+
+(** Register the base mini-libc and intrinsics into [vm]. *)
+let register_base vm =
+  let reg = Vm.register_extern vm in
+  (* output *)
+  reg "print_int" (fun vm args ->
+      out vm (Int64.to_string (iarg 0 args));
+      None);
+  reg "print_float" (fun vm args ->
+      out vm (Printf.sprintf "%.6g" (farg 0 args));
+      None);
+  reg "print_str" (fun vm args ->
+      out vm (read_cstring vm (iarg 0 args));
+      None);
+  reg "putchar" (fun vm args ->
+      out vm (String.make 1 (Char.chr (Int64.to_int (iarg 0 args) land 0xFF)));
+      None);
+  reg "print_newline" (fun vm _ ->
+      out vm "\n";
+      None);
+  (* process control *)
+  reg "exit" (fun _ args -> raise (Vm.Exit_program (Int64.to_int (iarg 0 args))));
+  reg "abort" (fun _ _ -> raise (Vm.Exit_program 134));
+  (* strings and memory *)
+  reg "strlen" (fun vm args -> Some (Vm.I (Int64.of_int (impl_strlen vm (iarg 0 args)))));
+  reg "strcpy" (fun vm args ->
+      let dst = iarg 0 args and src = iarg 1 args in
+      ignore (impl_strcpy vm ~dst ~src);
+      Some (Vm.I dst));
+  reg "strcmp" (fun vm args ->
+      let r, _ = impl_strcmp vm (iarg 0 args) (iarg 1 args) in
+      Some (Vm.I (Int64.of_int r)));
+  reg "memcpy" (fun vm args ->
+      let dst = iarg 0 args and src = iarg 1 args in
+      impl_memcpy vm ~dst ~src (Int64.to_int (iarg 2 args));
+      Some (Vm.I dst));
+  reg "memmove" (fun vm args ->
+      let dst = iarg 0 args and src = iarg 1 args in
+      impl_memcpy vm ~dst ~src (Int64.to_int (iarg 2 args));
+      Some (Vm.I dst));
+  reg "memset" (fun vm args ->
+      let dst = iarg 0 args in
+      impl_memset vm dst (Int64.to_int (iarg 1 args)) (Int64.to_int (iarg 2 args));
+      Some (Vm.I dst));
+  reg "atoi" (fun vm args ->
+      let v, _ = impl_atoi vm (iarg 0 args) in
+      Some (Vm.I (Int64.logand v 0xFFFFFFFFL)));
+  reg "calloc" (fun vm args ->
+      let n = Int64.to_int (iarg 0 args) and size = Int64.to_int (iarg 1 args) in
+      let bytes = max 1 (n * size) in
+      Vm.add_cost vm (dpmr_vm_cost_calloc bytes);
+      let p = Allocator.malloc vm.Vm.alloc bytes in
+      Mem.fill vm.Vm.mem p bytes 0;
+      Some (Vm.I p));
+  reg "realloc" (fun vm args ->
+      let p = iarg 0 args and n = Int64.to_int (iarg 1 args) in
+      Some (Vm.I (impl_realloc vm p n)));
+  reg "qsort" (fun vm args ->
+      let base = iarg 0 args
+      and nmemb = Int64.to_int (iarg 1 args)
+      and size = Int64.to_int (iarg 2 args)
+      and cmp = iarg 3 args in
+      let cmp_name =
+        match Hashtbl.find_opt vm.Vm.addr_fun cmp with
+        | Some n -> n
+        | None -> raise (Mem.Fault (Mem.Unmapped cmp))
+      in
+      impl_qsort vm ~base ~nmemb ~size ~cmp_name;
+      None);
+  reg "printf" (fun vm args ->
+      match args with
+      | fmt :: rest ->
+          let s, _ = impl_printf vm (as_int fmt) (Array.of_list rest) in
+          out vm s;
+          Some (Vm.I (Int64.of_int (String.length s)))
+      | [] -> raise (Vm.Vm_error "printf: missing format"));
+  (* intrinsics used by DPMR-generated code *)
+  reg "__dpmr_detect" (fun _ args ->
+      raise (Vm.Dpmr_detected (Printf.sprintf "check %Ld" (iarg 0 args))));
+  reg "__dpmr_heap_size" (fun vm args ->
+      Some (Vm.I (Int64.of_int (Allocator.usable_size vm.Vm.alloc (iarg 0 args)))));
+  reg "__dpmr_zero" (fun vm args ->
+      (* zero-before-free support: cost matches the byte-store loop of
+         Table 2.8 that this call lowers *)
+      let p = iarg 0 args and n = Int64.to_int (iarg 1 args) in
+      Vm.add_cost vm (max 1 n);
+      Mem.fill vm.Vm.mem p n 0;
+      None);
+  reg "__dpmr_rand_range" (fun vm args ->
+      let lo = Int64.to_int (iarg 0 args) and hi = Int64.to_int (iarg 1 args) in
+      Some (Vm.I (Int64.of_int (Rng.range vm.Vm.rng lo hi))));
+  (* fault-injection marker: records the cost at first execution *)
+  reg "__fi_mark" (fun vm _ ->
+      (match vm.Vm.fi_first_cost with
+      | None -> vm.Vm.fi_first_cost <- Some vm.Vm.cost
+      | Some _ -> ());
+      None)
+
+(** Declare the extern signatures in a program so the verifier and the
+    transforms know them.  [tenv]-independent. *)
+let declare_signatures (p : Dpmr_ir.Prog.t) =
+  let open Dpmr_ir.Types in
+  let d name ret params = Dpmr_ir.Prog.declare_extern p name { ret; params; vararg = false } in
+  d "print_int" Void [ i64 ];
+  d "print_float" Void [ Float ];
+  d "print_str" Void [ Ptr (arr i8 0) ];
+  d "putchar" Void [ i32 ];
+  d "print_newline" Void [];
+  d "exit" Void [ i32 ];
+  d "abort" Void [];
+  d "strlen" i64 [ Ptr (arr i8 0) ];
+  d "strcpy" (Ptr (arr i8 0)) [ Ptr (arr i8 0); Ptr (arr i8 0) ];
+  d "strcmp" i32 [ Ptr (arr i8 0); Ptr (arr i8 0) ];
+  d "memcpy" (Ptr (arr i8 0)) [ Ptr (arr i8 0); Ptr (arr i8 0); i64 ];
+  d "memmove" (Ptr (arr i8 0)) [ Ptr (arr i8 0); Ptr (arr i8 0); i64 ];
+  d "memset" (Ptr (arr i8 0)) [ Ptr (arr i8 0); i32; i64 ];
+  d "atoi" i32 [ Ptr (arr i8 0) ];
+  Dpmr_ir.Prog.declare_extern p "printf"
+    { ret = i32; params = [ Ptr (arr i8 0) ]; vararg = true };
+  d "calloc" (Ptr (arr i8 0)) [ i64; i64 ];
+  d "realloc" (Ptr (arr i8 0)) [ Ptr (arr i8 0); i64 ];
+  d "qsort" Void
+    [ Ptr (arr i8 0); i64; i64; Ptr (fun_ty i32 [ Ptr (arr i8 0); Ptr (arr i8 0) ]) ];
+  d "__dpmr_detect" Void [ i64 ];
+  d "__dpmr_heap_size" i64 [ Ptr (arr i8 0) ];
+  d "__dpmr_zero" Void [ Ptr i8; i64 ];
+  d "__dpmr_rand_range" i64 [ i64; i64 ];
+  d "__fi_mark" Void []

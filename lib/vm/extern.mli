@@ -1,0 +1,53 @@
+(** Base external functions: a mini-libc plus the VM intrinsics DPMR's
+    generated code uses.
+
+    Untransformed (golden / fi-stdapp) programs call these directly;
+    transformed programs call the [<name>_efw] wrappers registered by
+    [Dpmr_core.Ext_wrappers], which delegate their underlying behaviour
+    to the [impl_*] functions exposed here. *)
+
+(** {1 Simulated-memory helpers} *)
+
+val read_cstring : Vm.t -> int64 -> string
+val cstring_len : Vm.t -> int64 -> int
+
+(** {1 Shared implementations} *)
+
+val impl_strlen : Vm.t -> int64 -> int
+
+(** Copies including the NUL; returns the source length. *)
+val impl_strcpy : Vm.t -> dst:int64 -> src:int64 -> int
+
+(** Returns (comparison result, bytes read from each input) — the read
+    count drives the wrapper's prefix checks (§3.1.5). *)
+val impl_strcmp : Vm.t -> int64 -> int64 -> int * int
+
+val impl_memcpy : Vm.t -> dst:int64 -> src:int64 -> int -> unit
+val impl_memset : Vm.t -> int64 -> int -> int -> unit
+
+(** Returns (value, characters consumed). *)
+val impl_atoi : Vm.t -> int64 -> int64 * int
+
+val dpmr_vm_cost_calloc : int -> int
+
+(** Allocate-copy-free realloc; accepts a null original. *)
+val impl_realloc : Vm.t -> int64 -> int -> int64
+
+val impl_qsort : Vm.t -> base:int64 -> nmemb:int -> size:int -> cmp_name:string -> unit
+
+(** Renders a printf format against variadic values; returns the rendered
+    string and, per [%s] conversion, (argument index, address, bytes
+    read) for the wrapper's load checks. *)
+val impl_printf : Vm.t -> int64 -> Vm.value array -> string * (int * int64 * int) list
+
+(** Append to the VM's captured output. *)
+val out : Vm.t -> string -> unit
+
+(** {1 Registration} *)
+
+(** Register the mini-libc and the [__dpmr_*]/[__fi_*] intrinsics. *)
+val register_base : Vm.t -> unit
+
+(** Declare the extern signatures into a program (for the verifier and
+    the transformation). *)
+val declare_signatures : Dpmr_ir.Prog.t -> unit

@@ -1,0 +1,32 @@
+(** Classification of a program run, matching the experiment descriptors
+    and random variables of Table 3.2. *)
+
+type t =
+  | Normal  (** exit code 0 *)
+  | App_exit of int
+      (** nonzero exit: application-dependent error output — counts as
+          natural detection when the output is incorrect *)
+  | Crash of string  (** trap (segfault, invalid/double free, …): natural detection *)
+  | Dpmr_detect of string  (** a DPMR load check or wrapper check fired *)
+  | Timeout  (** instruction budget exceeded (≈ 20x golden run, §3.6) *)
+
+type run = {
+  outcome : t;
+  cost : int64;  (** total cost units consumed *)
+  output : string;  (** captured program output *)
+  peak_heap_bytes : int;
+  mapped_pages : int;
+  fi_first_cost : int64 option;
+      (** cost at the first execution of fault-injection code ([SF] in
+          Table 3.2 is [fi_first_cost <> None]) *)
+}
+
+let is_dpmr_detect r = match r.outcome with Dpmr_detect _ -> true | _ -> false
+let is_crash r = match r.outcome with Crash _ -> true | _ -> false
+
+let to_string = function
+  | Normal -> "normal"
+  | App_exit n -> Printf.sprintf "app-exit(%d)" n
+  | Crash s -> Printf.sprintf "crash(%s)" s
+  | Dpmr_detect s -> Printf.sprintf "dpmr-detect(%s)" s
+  | Timeout -> "timeout"

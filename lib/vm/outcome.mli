@@ -1,0 +1,24 @@
+(** Classification of a program run, matching the experiment descriptors
+    and random variables of Table 3.2. *)
+
+type t =
+  | Normal  (** exit code 0 *)
+  | App_exit of int  (** nonzero exit: error-indicating output *)
+  | Crash of string  (** trap (segfault, invalid/double free, ...) *)
+  | Dpmr_detect of string  (** a DPMR load or wrapper check fired *)
+  | Timeout  (** instruction budget exceeded *)
+
+type run = {
+  outcome : t;
+  cost : int64;  (** total cost units consumed *)
+  output : string;  (** captured program output *)
+  peak_heap_bytes : int;
+  mapped_pages : int;
+  fi_first_cost : int64 option;
+      (** cost at first execution of fault-injection code ([SF] in
+          Table 3.2 is [fi_first_cost <> None]) *)
+}
+
+val is_dpmr_detect : run -> bool
+val is_crash : run -> bool
+val to_string : t -> string

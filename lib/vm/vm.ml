@@ -1,0 +1,454 @@
+(** The interpreter: executes an IR program against the simulated memory
+    subsystem, charging the {!Cost} model, dispatching external functions,
+    and classifying the run per {!Outcome}. *)
+
+open Dpmr_ir
+open Dpmr_memsim
+open Types
+open Inst
+
+type value = I of int64 | F of float
+
+exception Exit_program of int
+exception Dpmr_detected of string
+exception Timeout_exceeded
+exception Vm_error of string
+
+type t = {
+  prog : Prog.t;
+  mem : Mem.t;
+  alloc : Allocator.t;
+  mutable sp : int64;
+  global_addr : (string, int64) Hashtbl.t;
+  fun_addr : (string, int64) Hashtbl.t;
+  addr_fun : (int64, string) Hashtbl.t;
+  mutable next_fun_addr : int64;
+  out : Buffer.t;
+  mutable cost : int64;
+  mutable budget : int64;  (** raise {!Timeout_exceeded} when cost exceeds *)
+  rng : Rng.t;
+  externs : (string, extern) Hashtbl.t;
+  mutable fi_first_cost : int64 option;
+  mutable call_depth : int;
+}
+
+and extern = t -> value list -> value option
+
+let add_cost t c = t.cost <- Int64.add t.cost (Int64.of_int c)
+
+let check_budget t = if t.cost > t.budget then raise Timeout_exceeded
+
+let as_int = function I v -> v | F _ -> raise (Vm_error "expected int/pointer value")
+let as_float = function F v -> v | I _ -> raise (Vm_error "expected float value")
+
+let truncate_to w v =
+  match w with
+  | W8 -> Int64.logand v 0xFFL
+  | W16 -> Int64.logand v 0xFFFFL
+  | W32 -> Int64.logand v 0xFFFFFFFFL
+  | W64 -> v
+
+let sign_extend w v =
+  match w with
+  | W8 -> Int64.shift_right (Int64.shift_left v 56) 56
+  | W16 -> Int64.shift_right (Int64.shift_left v 48) 48
+  | W32 -> Int64.shift_right (Int64.shift_left v 32) 32
+  | W64 -> v
+
+(* ------------------------------------------------------------------ *)
+(* Construction and program loading                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fun_address t name =
+  match Hashtbl.find_opt t.fun_addr name with
+  | Some a -> a
+  | None ->
+      let a = t.next_fun_addr in
+      t.next_fun_addr <- Int64.add a 16L;
+      Hashtbl.replace t.fun_addr name a;
+      Hashtbl.replace t.addr_fun a name;
+      a
+
+let global_address t name =
+  match Hashtbl.find_opt t.global_addr name with
+  | Some a -> a
+  | None -> raise (Vm_error (Printf.sprintf "no address for global %S" name))
+
+(* Write a structural initializer at [addr]. *)
+let rec write_ginit t addr ty (g : Prog.ginit) =
+  let tenv = t.prog.tenv in
+  match (g, ty) with
+  | Prog.Gzero, _ -> Mem.fill t.mem addr (Layout.size_of tenv ty) 0
+  | Prog.Gint v, Int w -> Mem.write_int t.mem addr (bytes_of_width w) v
+  | Prog.Gfloat x, Float -> Mem.write_f64 t.mem addr x
+  | Prog.Gptr_null, Ptr _ -> Mem.write_int t.mem addr 8 0L
+  | Prog.Gptr_global gname, Ptr _ -> Mem.write_int t.mem addr 8 (global_address t gname)
+  | Prog.Gptr_fun fname, Ptr _ -> Mem.write_int t.mem addr 8 (fun_address t fname)
+  | Prog.Gstring s, Arr (Int W8, n) ->
+      let len = min (String.length s) (n - 1) in
+      for i = 0 to len - 1 do
+        Mem.write_u8 t.mem (Int64.add addr (Int64.of_int i)) (Char.code s.[i])
+      done;
+      Mem.fill t.mem (Int64.add addr (Int64.of_int len)) (n - len) 0
+  | Prog.Gagg gs, Arr (e, n) ->
+      let esz = Layout.size_of tenv e in
+      List.iteri
+        (fun i gi ->
+          if i < n then write_ginit t (Int64.add addr (Int64.of_int (i * esz))) e gi)
+        gs
+  | Prog.Gagg gs, Struct sname ->
+      let fields = Tenv.fields tenv sname in
+      let offs = Layout.field_offsets tenv sname in
+      List.iteri
+        (fun i gi ->
+          let fty = List.nth fields i and off = List.nth offs i in
+          write_ginit t (Int64.add addr (Int64.of_int off)) fty gi)
+        gs
+  | _ ->
+      raise
+        (Vm_error
+           (Fmt.str "bad global initializer for type %a" Types.pp ty))
+
+let layout_globals t =
+  let cursor = ref Mem.globals_base in
+  (* first pass: assign addresses (initializers may reference any global) *)
+  Prog.iter_globals t.prog (fun g ->
+      let tenv = t.prog.tenv in
+      let size = max 1 (Layout.size_of tenv g.gty) in
+      let algn = Layout.align_of tenv g.gty in
+      let addr =
+        Int64.of_int (Layout.round_up (Int64.to_int !cursor) algn)
+      in
+      Mem.map_range t.mem addr size Mem.Fill_zero;
+      Hashtbl.replace t.global_addr g.gname addr;
+      cursor := Int64.add addr (Int64.of_int size));
+  (* second pass: write initializers *)
+  Prog.iter_globals t.prog (fun g ->
+      write_ginit t (Hashtbl.find t.global_addr g.gname) g.gty g.ginit)
+
+let create ?(seed = 42L) ?(budget = 2_000_000_000L) prog =
+  let mem = Mem.create ~seed () in
+  let t =
+    {
+      prog;
+      mem;
+      alloc = Allocator.create mem;
+      sp = Mem.stack_base;
+      global_addr = Hashtbl.create 32;
+      fun_addr = Hashtbl.create 32;
+      addr_fun = Hashtbl.create 32;
+      next_fun_addr = 0x2000_0000L;
+      out = Buffer.create 256;
+      cost = 0L;
+      budget;
+      rng = Rng.create seed;
+      externs = Hashtbl.create 64;
+      fi_first_cost = None;
+      call_depth = 0;
+    }
+  in
+  layout_globals t;
+  t
+
+let register_extern t name fn = Hashtbl.replace t.externs name fn
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type frame = { regs : value array; entry_sp : int64 }
+
+let eval t frame = function
+  | Reg r -> frame.regs.(r)
+  | Cint (w, v) -> I (truncate_to w v)
+  | Cfloat x -> F x
+  | Null _ -> I 0L
+  | Global g -> I (global_address t g)
+  | Fun_addr f -> I (fun_address t f)
+
+let load_scalar t ty addr =
+  match ty with
+  | Float -> F (Mem.read_f64 t.mem addr)
+  | Int w -> I (Mem.read_int t.mem addr (bytes_of_width w))
+  | Ptr _ -> I (Mem.read_int t.mem addr 8)
+  | _ -> raise (Vm_error "load of non-scalar")
+
+let store_scalar t ty addr v =
+  match (ty, v) with
+  | Float, F x -> Mem.write_f64 t.mem addr x
+  | Float, I bits -> Mem.write_f64 t.mem addr (Int64.float_of_bits bits)
+  | Int w, I x -> Mem.write_int t.mem addr (bytes_of_width w) x
+  | Ptr _, I x -> Mem.write_int t.mem addr 8 x
+  | Int _, F _ | Ptr _, F _ -> raise (Vm_error "store: float value into int slot")
+  | _ -> raise (Vm_error "store of non-scalar")
+
+let exec_binop op w a b =
+  let sa = sign_extend w a and sb = sign_extend w b in
+  let r =
+    match op with
+    | Add -> Int64.add a b
+    | Sub -> Int64.sub a b
+    | Mul -> Int64.mul a b
+    | Sdiv ->
+        if Int64.equal sb 0L then raise (Vm_error "division by zero")
+        else Int64.div sa sb
+    | Srem ->
+        if Int64.equal sb 0L then raise (Vm_error "division by zero")
+        else Int64.rem sa sb
+    | Udiv ->
+        if Int64.equal b 0L then raise (Vm_error "division by zero")
+        else Int64.unsigned_div a b
+    | Urem ->
+        if Int64.equal b 0L then raise (Vm_error "division by zero")
+        else Int64.unsigned_rem a b
+    | And -> Int64.logand a b
+    | Or -> Int64.logor a b
+    | Xor -> Int64.logxor a b
+    | Shl -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+    | Lshr -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+    | Ashr -> Int64.shift_right sa (Int64.to_int (Int64.logand b 63L))
+  in
+  truncate_to w r
+
+let exec_icmp c w a b =
+  let sa = sign_extend w a and sb = sign_extend w b in
+  let r =
+    match c with
+    | Ieq -> Int64.equal a b
+    | Ine -> not (Int64.equal a b)
+    | Islt -> Int64.compare sa sb < 0
+    | Isle -> Int64.compare sa sb <= 0
+    | Isgt -> Int64.compare sa sb > 0
+    | Isge -> Int64.compare sa sb >= 0
+    | Iult -> Int64.unsigned_compare a b < 0
+    | Iule -> Int64.unsigned_compare a b <= 0
+    | Iugt -> Int64.unsigned_compare a b > 0
+    | Iuge -> Int64.unsigned_compare a b >= 0
+  in
+  if r then 1L else 0L
+
+let exec_fcmp c a b =
+  let r =
+    match c with
+    | Foeq -> a = b
+    | Fone -> a <> b
+    | Folt -> a < b
+    | Fole -> a <= b
+    | Fogt -> a > b
+    | Foge -> a >= b
+  in
+  if r then 1L else 0L
+
+let max_call_depth = 10_000
+
+let rec call_function t name args =
+  match Hashtbl.find_opt t.prog.funcs name with
+  | Some f -> exec_func t f args
+  | None -> (
+      match Hashtbl.find_opt t.externs name with
+      | Some fn -> fn t args
+      | None -> raise (Vm_error (Printf.sprintf "call to unknown function %S" name)))
+
+and exec_func t (f : Func.t) args =
+  if t.call_depth >= max_call_depth then raise (Vm_error "stack overflow");
+  t.call_depth <- t.call_depth + 1;
+  let frame = { regs = Array.make f.next_reg (I 0xDEADBEEFL); entry_sp = t.sp } in
+  List.iteri
+    (fun i (r, _) ->
+      match List.nth_opt args i with
+      | Some v -> frame.regs.(r) <- v
+      | None -> raise (Vm_error (Printf.sprintf "%s: missing argument %d" f.name i)))
+    f.params;
+  let result = exec_blocks t f frame in
+  t.sp <- frame.entry_sp;
+  t.call_depth <- t.call_depth - 1;
+  result
+
+and exec_blocks t f frame =
+  let rec run (b : Func.block) =
+    check_budget t;
+    List.iter (exec_inst t f frame) b.insts;
+    match b.term with
+    | Br l ->
+        add_cost t Cost.branch;
+        run (Func.find_block f l)
+    | Cbr (c, l1, l2) ->
+        add_cost t Cost.cond_branch;
+        let v = as_int (eval t frame c) in
+        run (Func.find_block f (if not (Int64.equal v 0L) then l1 else l2))
+    | Ret o ->
+        add_cost t Cost.ret;
+        Option.map (eval t frame) o
+    | Unreachable -> raise (Vm_error (f.name ^ ": executed unreachable"))
+  in
+  run (Func.entry f)
+
+and exec_inst t f frame inst =
+  let ev o = eval t frame o in
+  let set r v = frame.regs.(r) <- v in
+  match inst with
+  | Malloc (r, ty, n) ->
+      let count = Int64.to_int (as_int (ev n)) in
+      if count < 0 then raise (Vm_error "malloc: negative count");
+      let bytes = count * Layout.size_of t.prog.tenv ty in
+      add_cost t (Cost.malloc_cost bytes);
+      set r (I (Allocator.malloc t.alloc bytes))
+  | Alloca (r, ty, n) ->
+      let count = Int64.to_int (as_int (ev n)) in
+      let bytes = max 1 (count * Layout.size_of t.prog.tenv ty) in
+      add_cost t (Cost.alloca_cost bytes);
+      let algn = Layout.align_of t.prog.tenv ty in
+      let addr = Int64.of_int (Layout.round_up (Int64.to_int t.sp) (max 8 algn)) in
+      Mem.map_range t.mem addr bytes Mem.Fill_garbage;
+      t.sp <- Int64.add addr (Int64.of_int bytes);
+      set r (I addr)
+  | Free p ->
+      add_cost t Cost.free_cost;
+      let addr = as_int (ev p) in
+      if not (Int64.equal addr 0L) then Allocator.free t.alloc addr
+  | Load (r, ty, p) ->
+      add_cost t (Cost.load + Cost.heap_pressure (Allocator.stats t.alloc).live_bytes);
+      let addr = as_int (ev p) in
+      set r (load_scalar t ty addr)
+  | Store (ty, v, p) ->
+      add_cost t (Cost.store + Cost.heap_pressure (Allocator.stats t.alloc).live_bytes);
+      let addr = as_int (ev p) in
+      store_scalar t ty addr (ev v)
+  | Gep_field (r, sname, p, i) ->
+      add_cost t Cost.gep;
+      let base = as_int (ev p) in
+      let off = Layout.field_offset t.prog.tenv sname i in
+      set r (I (Int64.add base (Int64.of_int off)))
+  | Gep_index (r, ety, p, i) ->
+      add_cost t Cost.gep;
+      let base = as_int (ev p) in
+      let idx = sign_extend W64 (as_int (ev i)) in
+      let esz = Int64.of_int (Layout.size_of t.prog.tenv ety) in
+      set r (I (Int64.add base (Int64.mul idx esz)))
+  | Bitcast (r, _, p) ->
+      add_cost t Cost.cast;
+      set r (ev p)
+  | Ptr_to_int (r, p) ->
+      add_cost t Cost.cast;
+      set r (ev p)
+  | Int_to_ptr (r, _, v) ->
+      add_cost t Cost.cast;
+      set r (ev v)
+  | Binop (r, op, w, a, b) ->
+      add_cost t Cost.alu;
+      set r (I (exec_binop op w (as_int (ev a)) (as_int (ev b))))
+  | Fbinop (r, op, a, b) ->
+      add_cost t Cost.falu;
+      let x = as_float (ev a) and y = as_float (ev b) in
+      let v =
+        match op with
+        | Fadd -> x +. y
+        | Fsub -> x -. y
+        | Fmul -> x *. y
+        | Fdiv -> x /. y
+      in
+      set r (F v)
+  | Icmp (r, c, w, a, b) ->
+      add_cost t Cost.cmp;
+      set r (I (exec_icmp c w (as_int (ev a)) (as_int (ev b))))
+  | Fcmp (r, c, a, b) ->
+      add_cost t Cost.cmp;
+      set r (I (exec_fcmp c (as_float (ev a)) (as_float (ev b))))
+  | Int_cast (r, w, signed, v) ->
+      add_cost t Cost.cast;
+      let x = as_int (ev v) in
+      (* source width unknown here; values are kept zero-extended to their
+         own width, so sign extension needs the source width — recover it
+         from the operand's static type. *)
+      let src_w =
+        match Prog.operand_ty t.prog f v with
+        | Int w -> w
+        | _ -> W64
+      in
+      let x = if signed then sign_extend src_w x else x in
+      set r (I (truncate_to w x))
+  | F_to_i (r, w, v) ->
+      add_cost t Cost.cast;
+      let x = as_float (ev v) in
+      set r (I (truncate_to w (Int64.of_float x)))
+  | I_to_f (r, _, v) ->
+      add_cost t Cost.cast;
+      let x = as_int (ev v) in
+      let src_w =
+        match Prog.operand_ty t.prog f v with Int w -> w | _ -> W64
+      in
+      set r (F (Int64.to_float (sign_extend src_w x)))
+  | Select (r, _, c, a, b) ->
+      add_cost t Cost.select;
+      let cv = as_int (ev c) in
+      set r (if not (Int64.equal cv 0L) then ev a else ev b)
+  | Call (r, callee, args) ->
+      add_cost t (Cost.call_base + (Cost.call_per_arg * List.length args));
+      let name =
+        match callee with
+        | Direct n -> n
+        | Indirect o -> (
+            let addr = as_int (ev o) in
+            match Hashtbl.find_opt t.addr_fun addr with
+            | Some n -> n
+            | None -> raise (Mem.Fault (Mem.Unmapped addr)))
+      in
+      let result = call_function t name (List.map ev args) in
+      (match (r, result) with
+      | Some r, Some v -> set r v
+      | Some _, None ->
+          raise (Vm_error (Printf.sprintf "%s returned void, result expected" name))
+      | None, _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Top-level driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Set up argv strings in simulated memory; returns (argc, argv). *)
+let setup_argv t args =
+  let n = List.length args in
+  let argv = Allocator.malloc t.alloc (max 8 (8 * n)) in
+  List.iteri
+    (fun i s ->
+      let a = Allocator.malloc t.alloc (String.length s + 1) in
+      String.iteri
+        (fun j c -> Mem.write_u8 t.mem (Int64.add a (Int64.of_int j)) (Char.code c))
+        s;
+      Mem.write_u8 t.mem (Int64.add a (Int64.of_int (String.length s))) 0;
+      Mem.write_int t.mem (Int64.add argv (Int64.of_int (8 * i))) 8 a)
+    args;
+  (I (Int64.of_int n), I argv)
+
+(** Run [main] (or a named entry point) to completion and classify. *)
+let run ?(entry = "main") ?(args = [ "prog" ]) t =
+  let finish outcome =
+    {
+      Outcome.outcome;
+      cost = t.cost;
+      output = Buffer.contents t.out;
+      peak_heap_bytes = (Allocator.stats t.alloc).peak_bytes;
+      mapped_pages = t.mem.mapped_pages;
+      fi_first_cost = t.fi_first_cost;
+    }
+  in
+  try
+    let f = Prog.func t.prog entry in
+    let argv_vals =
+      match f.params with
+      | [] -> []
+      | [ _; _ ] ->
+          let argc, argv = setup_argv t args in
+          [ argc; argv ]
+      | _ -> raise (Vm_error (entry ^ ": entry point must take () or (argc, argv)"))
+    in
+    let r = exec_func t f argv_vals in
+    let code = match r with Some (I v) -> Int64.to_int v | _ -> 0 in
+    finish (if code = 0 then Outcome.Normal else Outcome.App_exit code)
+  with
+  | Exit_program 0 -> finish Outcome.Normal
+  | Exit_program n -> finish (Outcome.App_exit n)
+  | Dpmr_detected msg -> finish (Outcome.Dpmr_detect msg)
+  | Timeout_exceeded -> finish Outcome.Timeout
+  | Mem.Fault flt -> finish (Outcome.Crash (Mem.fault_to_string flt))
+  | Vm_error msg -> finish (Outcome.Crash msg)
+  | Stack_overflow -> finish (Outcome.Crash "host stack overflow")

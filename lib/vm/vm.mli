@@ -1,0 +1,60 @@
+(** The interpreter: executes an IR program against the simulated memory
+    subsystem, charging the {!Cost} model, dispatching external
+    functions, and classifying the run per {!Outcome}. *)
+
+open Dpmr_ir
+open Dpmr_memsim
+
+type value = I of int64 | F of float
+(** Runtime values: integers and pointers share [I]. *)
+
+exception Exit_program of int
+
+(** Raised by the [__dpmr_detect] intrinsic and the wrapper checks. *)
+exception Dpmr_detected of string
+
+exception Timeout_exceeded
+exception Vm_error of string
+
+type t = {
+  prog : Prog.t;
+  mem : Mem.t;
+  alloc : Allocator.t;
+  mutable sp : int64;
+  global_addr : (string, int64) Hashtbl.t;
+  fun_addr : (string, int64) Hashtbl.t;
+  addr_fun : (int64, string) Hashtbl.t;
+  mutable next_fun_addr : int64;
+  out : Buffer.t;
+  mutable cost : int64;
+  mutable budget : int64;
+  rng : Rng.t;
+  externs : (string, extern) Hashtbl.t;
+  mutable fi_first_cost : int64 option;
+  mutable call_depth : int;
+}
+
+and extern = t -> value list -> value option
+(** External functions receive the VM and the evaluated arguments. *)
+
+val create : ?seed:int64 -> ?budget:int64 -> Prog.t -> t
+val register_extern : t -> string -> extern -> unit
+
+val add_cost : t -> int -> unit
+val as_int : value -> int64
+val as_float : value -> float
+val truncate_to : Types.width -> int64 -> int64
+val sign_extend : Types.width -> int64 -> int64
+
+(** Address of a function (assigning one on first use). *)
+val fun_address : t -> string -> int64
+
+val global_address : t -> string -> int64
+
+(** Call a defined function or a registered extern by name. *)
+val call_function : t -> string -> value list -> value option
+
+(** Run the entry point to completion and classify the result.  [main]
+    may take [()] or [(argc, argv)]; in the latter case [args] is
+    materialized as C strings in simulated memory. *)
+val run : ?entry:string -> ?args:string list -> t -> Outcome.run

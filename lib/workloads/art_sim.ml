@@ -1,0 +1,117 @@
+(** art: floating-point neural-network object recognizer (SPEC 179.art
+    stand-in).
+
+    Adaptive-resonance-flavoured competitive learning over synthetic
+    "thermal image" patches: bottom-up weights score each F1 neuron, the
+    winner passes a vigilance test against its top-down template and
+    learns the patch.  Allocation profile matches the original's
+    character: a handful of large heap arrays of doubles, almost no
+    pointers stored in memory (pointer-light). *)
+
+open Dpmr_ir
+open Types
+open Inst
+module B = Builder
+
+let name = "art"
+
+(* scale 1: ~100k golden cost units *)
+let prog ?(scale = 1) () =
+  let n_inputs = 36 in
+  let n_f1 = 8 in
+  let epochs = 1 + scale in
+  let n_scans = 12 * scale in
+  let p = Wk_util.fresh_prog () in
+
+  (* dot(a + off_a, b + off_b, n) *)
+  let b = B.create p ~name:"dot" ~params:[ ("a", Ptr Float); ("b", Ptr Float); ("n", i64) ] ~ret:Float () in
+  let acc = B.local b ~name:"acc" Float (B.fc 0.0) in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.param b 2) (fun i ->
+      let x = B.load b Float (B.gep_index b (B.param b 0) i) in
+      let y = B.load b Float (B.gep_index b (B.param b 1) i) in
+      B.set b Float acc (B.fadd b (B.get b Float acc) (B.fmul b x y)));
+  B.ret b (Some (B.get b Float acc));
+
+  let b = B.create p ~name:"main" ~params:[] ~ret:i32 () in
+  let g = Wk_util.lcg_init b 0x5EEDL in
+  (* heap arrays (array allocation sites for the resize injections) *)
+  let image = B.malloc b ~name:"image" ~count:(B.i64c (n_scans * n_inputs)) Float in
+  let bus = B.malloc b ~name:"bus" ~count:(B.i64c (n_f1 * n_inputs)) Float in
+  let tds = B.malloc b ~name:"tds" ~count:(B.i64c (n_f1 * n_inputs)) Float in
+  let act = B.malloc b ~name:"act" ~count:(B.i64c n_f1) Float in
+  let wins = B.malloc b ~name:"wins" ~count:(B.i64c n_f1) i64 in
+  (* synthetic thermal image: smooth-ish pseudo-random field *)
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c (n_scans * n_inputs)) (fun i ->
+      let r = Wk_util.lcg_below b g 1000 in
+      let x = B.i_to_f b W64 r in
+      let v = B.fdiv b x (B.fc 1000.0) in
+      B.store b Float v (B.gep_index b image i));
+  (* weight init *)
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c (n_f1 * n_inputs)) (fun i ->
+      let r = Wk_util.lcg_below b g 100 in
+      let v = B.fdiv b (B.i_to_f b W64 r) (B.fc 200.0) in
+      B.store b Float v (B.gep_index b bus i);
+      B.store b Float (B.fc 1.0) (B.gep_index b tds i));
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n_f1) (fun i ->
+      B.store b i64 (B.i64c 0) (B.gep_index b wins i));
+
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c epochs) (fun _e ->
+      B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n_scans) (fun s ->
+          let patch_off = B.mul b W64 s (B.i64c n_inputs) in
+          let patch = B.gep_index b image patch_off in
+          (* bottom-up activations *)
+          B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n_f1) (fun f ->
+              let woff = B.mul b W64 f (B.i64c n_inputs) in
+              let w = B.gep_index b bus woff in
+              let a = B.call1 b (Direct "dot") [ patch; w; B.i64c n_inputs ] in
+              B.store b Float a (B.gep_index b act f));
+          (* winner take all *)
+          let best = B.local b ~name:"best" i64 (B.i64c 0) in
+          let bestv = B.local b ~name:"bestv" Float (B.fc (-1e18)) in
+          B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n_f1) (fun f ->
+              let a = B.load b Float (B.gep_index b act f) in
+              let gt = B.fcmp b Fogt a (B.get b Float bestv) in
+              B.if_ b gt (fun () ->
+                  B.set b Float bestv a;
+                  B.set b i64 best f));
+          let w = B.get b i64 best in
+          (* vigilance: match score of top-down template against patch *)
+          let toff = B.mul b W64 w (B.i64c n_inputs) in
+          let td = B.gep_index b tds toff in
+          let m = B.call1 b (Direct "dot") [ patch; td; B.i64c n_inputs ] in
+          let norm = B.call1 b (Direct "dot") [ patch; patch; B.i64c n_inputs ] in
+          let vig = B.fcmp b Foge m (B.fmul b norm (B.fc 0.3)) in
+          B.if_ b vig (fun () ->
+              (* resonance: learn the patch into both weight sets *)
+              let wslot = B.gep_index b wins w in
+              let c = B.load b i64 wslot in
+              B.store b i64 (B.add b W64 c (B.i64c 1)) wslot;
+              B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n_inputs) (fun i ->
+                  let pi = B.load b Float (B.gep_index b patch i) in
+                  let tdp = B.gep_index b td i in
+                  let old_td = B.load b Float tdp in
+                  let blended =
+                    B.fadd b (B.fmul b old_td (B.fc 0.6)) (B.fmul b pi (B.fc 0.4))
+                  in
+                  B.store b Float blended tdp;
+                  let buoff = B.add b W64 toff i in
+                  let bup = B.gep_index b bus buoff in
+                  let old_bu = B.load b Float bup in
+                  let bu' = B.fadd b (B.fmul b old_bu (B.fc 0.8)) (B.fmul b pi (B.fc 0.2)) in
+                  B.store b Float bu' bup))));
+
+  (* report: winner histogram + weight checksums *)
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n_f1) (fun f ->
+      let c = B.load b i64 (B.gep_index b wins f) in
+      B.call0 b (Direct "print_int") [ c ];
+      B.call0 b (Direct "putchar") [ B.i32c 32 ]);
+  B.call0 b (Direct "print_newline") [];
+  Wk_util.print_kv_f b "td" (Wk_util.sum_f64 b tds (n_f1 * n_inputs));
+  Wk_util.print_kv_f b "bu" (Wk_util.sum_f64 b bus (n_f1 * n_inputs));
+  B.free b act;
+  B.free b wins;
+  B.free b tds;
+  B.free b bus;
+  B.free b image;
+  B.ret b (Some (B.i32c 0));
+  p

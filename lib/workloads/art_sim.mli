@@ -1,0 +1,6 @@
+(** art: floating-point neural-network object recognizer (SPEC 179.art
+    stand-in) — competitive learning over synthetic thermal-image
+    patches.  Pointer-light, float-array heavy. *)
+
+val name : string
+val prog : ?scale:int -> unit -> Dpmr_ir.Prog.t

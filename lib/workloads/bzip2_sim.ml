@@ -1,0 +1,177 @@
+(** bzip2: integer in-memory block compressor (SPEC 256.bzip2 stand-in;
+    like SPEC's version it performs all compression and decompression
+    entirely in memory).
+
+    Pipeline: synthetic run-structured input -> RLE encode -> move-to-
+    front transform -> byte-frequency model (entropy size estimate) ->
+    MTF decode -> RLE decode -> verify round-trip against the input.  A
+    verification failure prints an error and exits nonzero, giving the
+    workload an application-level (natural) detection path.  Allocation
+    profile: a few large integer buffers, no pointers in memory. *)
+
+open Dpmr_ir
+open Types
+open Inst
+module B = Builder
+
+let name = "bzip2"
+
+let prog ?(scale = 1) () =
+  let n = 1024 * scale in
+  let p = Wk_util.fresh_prog () in
+  let b = B.create p ~name:"main" ~params:[] ~ret:i32 () in
+  let g = Wk_util.lcg_init b 0xB2100L in
+
+  (* input: runs of random bytes with random short lengths *)
+  let input = B.malloc b ~name:"input" ~count:(B.i64c n) i8 in
+  let pos = B.local b ~name:"pos" i64 (B.i64c 0) in
+  B.while_ b
+    (fun () ->
+      let q = B.get b i64 pos in
+      B.icmp b Islt W64 q (B.i64c n))
+    (fun () ->
+      let byte = Wk_util.lcg_below b g 32 in
+      let len = Wk_util.lcg_below b g 7 in
+      let len = B.add b W64 len (B.i64c 1) in
+      B.for_ b ~from:(B.i64c 0) ~below:len (fun _ ->
+          let q = B.get b i64 pos in
+          let inb = B.icmp b Islt W64 q (B.i64c n) in
+          B.if_ b inb (fun () ->
+              B.store b i8 (B.int_cast b W8 byte) (B.gep_index b input q);
+              B.set b i64 pos (B.add b W64 q (B.i64c 1)))));
+
+  (* RLE encode: pairs (byte, runlen<=255); worst case 2n *)
+  let enc = B.malloc b ~name:"enc" ~count:(B.i64c (2 * n)) i8 in
+  let out = B.local b ~name:"out" i64 (B.i64c 0) in
+  let i = B.local b ~name:"i" i64 (B.i64c 0) in
+  B.while_ b
+    (fun () -> B.icmp b Islt W64 (B.get b i64 i) (B.i64c n))
+    (fun () ->
+      let ii = B.get b i64 i in
+      let cur = B.load b i8 (B.gep_index b input ii) in
+      let run = B.local b ~name:"run" i64 (B.i64c 1) in
+      B.while_ b
+        (fun () ->
+          let j = B.add b W64 ii (B.get b i64 run) in
+          let inb = B.icmp b Islt W64 j (B.i64c n) in
+          let short = B.icmp b Islt W64 (B.get b i64 run) (B.i64c 255) in
+          let both = B.binop b And W8 inb short in
+          (* guarded continuation check: compare the next byte only when
+             it is in range *)
+          let cont = B.local b ~name:"cont" i8 (B.i8c 0) in
+          B.if_ b both (fun () ->
+              let j2 = B.add b W64 ii (B.get b i64 run) in
+              let nb = B.load b i8 (B.gep_index b input j2) in
+              let eq = B.icmp b Ieq W8 nb cur in
+              B.set b i8 cont eq);
+          B.get b i8 cont)
+        (fun () -> B.set b i64 run (B.add b W64 (B.get b i64 run) (B.i64c 1)));
+      let o = B.get b i64 out in
+      B.store b i8 cur (B.gep_index b enc o);
+      let o1 = B.add b W64 o (B.i64c 1) in
+      B.store b i8 (B.int_cast b W8 (B.get b i64 run)) (B.gep_index b enc o1);
+      B.set b i64 out (B.add b W64 o (B.i64c 2));
+      B.set b i64 i (B.add b W64 ii (B.get b i64 run)));
+  let enc_len = B.get b i64 out in
+
+  (* move-to-front over the encoded bytes + frequency model *)
+  let mtf = B.malloc b ~name:"mtf" ~count:(B.i64c 256) i8 in
+  let freq = B.malloc b ~name:"freq" ~count:(B.i64c 256) i64 in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c 256) (fun k ->
+      B.store b i8 (B.int_cast b W8 k) (B.gep_index b mtf k);
+      B.store b i64 (B.i64c 0) (B.gep_index b freq k));
+  let coded = B.malloc b ~name:"coded" ~count:(B.i64c (2 * n)) i8 in
+  B.for_ b ~from:(B.i64c 0) ~below:enc_len (fun k ->
+      let byte = B.load b i8 (B.gep_index b enc k) in
+      (* find rank of byte in mtf table *)
+      let rank = B.local b ~name:"rank" i64 (B.i64c 0) in
+      B.while_ b
+        (fun () ->
+          let r = B.get b i64 rank in
+          let v = B.load b i8 (B.gep_index b mtf r) in
+          let ne = B.icmp b Ine W8 v byte in
+          let inb = B.icmp b Islt W64 r (B.i64c 255) in
+          B.binop b And W8 ne inb)
+        (fun () -> B.set b i64 rank (B.add b W64 (B.get b i64 rank) (B.i64c 1)));
+      let r = B.get b i64 rank in
+      B.store b i8 (B.int_cast b W8 r) (B.gep_index b coded k);
+      (* shift table down, put byte in front *)
+      let j = B.local b ~name:"j" i64 r in
+      B.while_ b
+        (fun () -> B.icmp b Isgt W64 (B.get b i64 j) (B.i64c 0))
+        (fun () ->
+          let jj = B.get b i64 j in
+          let prev = B.sub b W64 jj (B.i64c 1) in
+          let v = B.load b i8 (B.gep_index b mtf prev) in
+          B.store b i8 v (B.gep_index b mtf jj);
+          B.set b i64 j prev);
+      B.store b i8 byte (B.gep_index b mtf (B.i64c 0));
+      let fslot = B.gep_index b freq r in
+      let c = B.load b i64 fslot in
+      B.store b i64 (B.add b W64 c (B.i64c 1)) fslot);
+  (* "entropy" estimate: sum rank * freq *)
+  let est = B.local b ~name:"est" i64 (B.i64c 0) in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c 256) (fun k ->
+      let c = B.load b i64 (B.gep_index b freq k) in
+      let e = B.get b i64 est in
+      B.set b i64 est (B.add b W64 e (B.mul b W64 c (B.add b W64 k (B.i64c 1)))));
+
+  (* decode: MTF decode then RLE decode, verify round trip *)
+  let mtf2 = B.malloc b ~name:"mtf2" ~count:(B.i64c 256) i8 in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c 256) (fun k ->
+      B.store b i8 (B.int_cast b W8 k) (B.gep_index b mtf2 k));
+  let dec = B.malloc b ~name:"dec" ~count:(B.i64c n) i8 in
+  let dpos = B.local b ~name:"dpos" i64 (B.i64c 0) in
+  let k = B.local b ~name:"k" i64 (B.i64c 0) in
+  B.while_ b
+    (fun () -> B.icmp b Islt W64 (B.get b i64 k) enc_len)
+    (fun () ->
+      let kk = B.get b i64 k in
+      (* decode one MTF symbol at stream position [pos] and update the
+         decoder table (both byte and run-length positions are coded) *)
+      let decode_at pos =
+        let rank = B.load b i8 (B.gep_index b coded pos) in
+        let rank64 = B.int_cast b ~signed:false W64 rank in
+        let byte = B.load b i8 (B.gep_index b mtf2 rank64) in
+        let j = B.local b ~name:"j2" i64 rank64 in
+        B.while_ b
+          (fun () -> B.icmp b Isgt W64 (B.get b i64 j) (B.i64c 0))
+          (fun () ->
+            let jj = B.get b i64 j in
+            let prev = B.sub b W64 jj (B.i64c 1) in
+            let v = B.load b i8 (B.gep_index b mtf2 prev) in
+            B.store b i8 v (B.gep_index b mtf2 jj);
+            B.set b i64 j prev);
+        B.store b i8 byte (B.gep_index b mtf2 (B.i64c 0));
+        byte
+      in
+      let byte = decode_at kk in
+      let k1 = B.add b W64 kk (B.i64c 1) in
+      let run = decode_at k1 in
+      let run64 = B.int_cast b ~signed:false W64 run in
+      B.for_ b ~from:(B.i64c 0) ~below:run64 (fun _ ->
+          let d = B.get b i64 dpos in
+          let inb = B.icmp b Islt W64 d (B.i64c n) in
+          B.if_ b inb (fun () ->
+              B.store b i8 byte (B.gep_index b dec d);
+              B.set b i64 dpos (B.add b W64 d (B.i64c 1))));
+      B.set b i64 k (B.add b W64 kk (B.i64c 2)));
+
+  (* verify round trip *)
+  let errors = B.local b ~name:"errors" i64 (B.i64c 0) in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun q ->
+      let a = B.load b i8 (B.gep_index b input q) in
+      let d = B.load b i8 (B.gep_index b dec q) in
+      let ne = B.icmp b Ine W8 a d in
+      B.if_ b ne (fun () ->
+          B.set b i64 errors (B.add b W64 (B.get b i64 errors) (B.i64c 1))));
+  let bad = B.icmp b Isgt W64 (B.get b i64 errors) (B.i64c 0) in
+  B.if_ b bad (fun () ->
+      Wk_util.print_kv b "MISCOMPARE" (B.get b i64 errors);
+      B.call0 b (Direct "exit") [ B.i32c 2 ]);
+  Wk_util.print_kv b "in" (B.i64c n);
+  Wk_util.print_kv b "enc" enc_len;
+  Wk_util.print_kv b "est" (B.get b i64 est);
+  List.iter (B.free b) [ dec; mtf2; coded; freq; mtf; enc; input ];
+  B.ret b (Some (B.i32c 0));
+  p

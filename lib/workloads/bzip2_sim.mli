@@ -1,0 +1,6 @@
+(** bzip2: integer in-memory block compressor (SPEC 256.bzip2 stand-in) —
+    RLE + move-to-front + frequency model with a round-trip verify that
+    exits nonzero on miscompare.  Pointer-light, int-array heavy. *)
+
+val name : string
+val prog : ?scale:int -> unit -> Dpmr_ir.Prog.t

@@ -1,0 +1,111 @@
+(** equake: seismic wave propagation on an unstructured sparse mesh (SPEC
+    183.equake stand-in).
+
+    Explicit time stepping of a damped wave equation over a ring-plus-
+    chords mesh.  Allocation profile matches the original's character:
+    per-node adjacency and coefficient arrays reached through pointers
+    stored in node structures (pointer-heavy), plus displacement vectors
+    rotated by pointer swapping. *)
+
+open Dpmr_ir
+open Types
+open Inst
+module B = Builder
+
+let name = "equake"
+
+let prog ?(scale = 1) () =
+  let n = 48 * scale in
+  let steps = 20 * scale in
+  let chords = 2 in
+  let deg = 2 + chords in
+  let p = Wk_util.fresh_prog () in
+  Tenv.define_struct p.Prog.tenv "Node" [ i64; Ptr i64; Ptr Float ];
+  let node = Struct "Node" in
+
+  let b = B.create p ~name:"main" ~params:[] ~ret:i32 () in
+  let g = Wk_util.lcg_init b 0xE0A4EL in
+  let nodes = B.malloc b ~name:"nodes" ~count:(B.i64c n) node in
+  (* per-node adjacency: ring neighbours + random chords *)
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+      let nd = B.gep_index b nodes i in
+      B.store b i64 (B.i64c deg) (B.gep_field b nd 0);
+      let nbrs = B.malloc b ~name:"nbrs" ~count:(B.i64c deg) i64 in
+      let ws = B.malloc b ~name:"ws" ~count:(B.i64c deg) Float in
+      B.store b (Ptr i64) nbrs (B.gep_field b nd 1);
+      B.store b (Ptr Float) ws (B.gep_field b nd 2);
+      (* ring *)
+      let prev = B.binop b Urem W64 (B.add b W64 i (B.i64c (n - 1))) (B.i64c n) in
+      let next = B.binop b Urem W64 (B.add b W64 i (B.i64c 1)) (B.i64c n) in
+      B.store b i64 prev (B.gep_index b nbrs (B.i64c 0));
+      B.store b i64 next (B.gep_index b nbrs (B.i64c 1));
+      B.for_ b ~from:(B.i64c 2) ~below:(B.i64c deg) (fun c ->
+          let r = Wk_util.lcg_below b g n in
+          B.store b i64 r (B.gep_index b nbrs c));
+      B.for_ b ~from:(B.i64c 0) ~below:(B.i64c deg) (fun c ->
+          let r = Wk_util.lcg_below b g 90 in
+          let w = B.fdiv b (B.i_to_f b W64 (B.add b W64 r (B.i64c 10))) (B.fc 400.0) in
+          B.store b Float w (B.gep_index b ws c)));
+
+  (* displacement vectors, rotated by pointer swaps each step *)
+  let prev = B.local b ~name:"prev" (Ptr Float) (B.malloc b ~count:(B.i64c n) Float) in
+  let cur = B.local b ~name:"cur" (Ptr Float) (B.malloc b ~count:(B.i64c n) Float) in
+  let nxt = B.local b ~name:"nxt" (Ptr Float) (B.malloc b ~count:(B.i64c n) Float) in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+      B.store b Float (B.fc 0.0) (B.gep_index b (B.get b (Ptr Float) prev) i);
+      B.store b Float (B.fc 0.0) (B.gep_index b (B.get b (Ptr Float) cur) i);
+      B.store b Float (B.fc 0.0) (B.gep_index b (B.get b (Ptr Float) nxt) i));
+
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c steps) (fun t ->
+      let pv = B.get b (Ptr Float) prev in
+      let cv = B.get b (Ptr Float) cur in
+      let nv = B.get b (Ptr Float) nxt in
+      (* source excitation at node 0 for the first quarter of the run *)
+      let early = B.icmp b Islt W64 t (B.i64c (steps / 4)) in
+      B.if_ b early (fun () ->
+          let tf = B.i_to_f b W64 t in
+          let pulse = B.fmul b tf (B.fc 0.05) in
+          B.store b Float pulse (B.gep_index b cv (B.i64c 0)));
+      B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+          let nd = B.gep_index b nodes i in
+          let d = B.load b i64 (B.gep_field b nd 0) in
+          let nbrs = B.load b (Ptr i64) (B.gep_field b nd 1) in
+          let ws = B.load b (Ptr Float) (B.gep_field b nd 2) in
+          let acc = B.local b ~name:"acc" Float (B.fc 0.0) in
+          B.for_ b ~from:(B.i64c 0) ~below:d (fun c ->
+              let j = B.load b i64 (B.gep_index b nbrs c) in
+              let w = B.load b Float (B.gep_index b ws c) in
+              let uj = B.load b Float (B.gep_index b cv j) in
+              B.set b Float acc (B.fadd b (B.get b Float acc) (B.fmul b w uj)));
+          let ui = B.load b Float (B.gep_index b cv i) in
+          let up = B.load b Float (B.gep_index b pv i) in
+          (* u'' = coupling - damping, explicit integration *)
+          let lap = B.fsub b (B.get b Float acc) (B.fmul b ui (B.fc 0.22)) in
+          let vel = B.fsub b ui up in
+          let unew =
+            B.fadd b ui (B.fadd b (B.fmul b vel (B.fc 0.98)) (B.fmul b lap (B.fc 0.4)))
+          in
+          B.store b Float unew (B.gep_index b nv i));
+      (* rotate: prev <- cur <- nxt <- prev *)
+      B.set b (Ptr Float) prev cv;
+      B.set b (Ptr Float) cur nv;
+      B.set b (Ptr Float) nxt pv);
+
+  (* energy report *)
+  let cv = B.get b (Ptr Float) cur in
+  let energy = B.local b ~name:"energy" Float (B.fc 0.0) in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+      let u = B.load b Float (B.gep_index b cv i) in
+      B.set b Float energy (B.fadd b (B.get b Float energy) (B.fmul b u u)));
+  Wk_util.print_kv_f b "energy" (B.get b Float energy);
+  (* teardown: free adjacency through the node structures *)
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+      let nd = B.gep_index b nodes i in
+      B.free b (B.load b (Ptr i64) (B.gep_field b nd 1));
+      B.free b (B.load b (Ptr Float) (B.gep_field b nd 2)));
+  B.free b (B.get b (Ptr Float) prev);
+  B.free b (B.get b (Ptr Float) cur);
+  B.free b (B.get b (Ptr Float) nxt);
+  B.free b nodes;
+  B.ret b (Some (B.i32c 0));
+  p

@@ -1,0 +1,7 @@
+(** equake: seismic wave propagation on an unstructured sparse mesh (SPEC
+    183.equake stand-in) — per-node adjacency reached through pointers in
+    node structures; displacement vectors rotated by pointer swaps.
+    Pointer-heavy, floating point. *)
+
+val name : string
+val prog : ?scale:int -> unit -> Dpmr_ir.Prog.t

@@ -1,0 +1,150 @@
+(** mcf: combinatorial minimum-cost-flow vehicle scheduler (SPEC 181.mcf
+    stand-in).
+
+    Successive shortest-path augmentation on a random flow network whose
+    arcs live in per-node linked lists (arc records chained through
+    [next] pointers) — the pointer-chasing allocation and traversal
+    profile of the original.  Prints the routed flow and its cost. *)
+
+open Dpmr_ir
+open Types
+open Inst
+module B = Builder
+
+let name = "mcf"
+
+let prog ?(scale = 1) () =
+  let n = 24 * scale in
+  let out_deg = 4 in
+  let rounds = 6 * scale in
+  let p = Wk_util.fresh_prog () in
+  (* Arc: dst, cost, cap, flow, next (per-source chain), src *)
+  Tenv.define_struct p.Prog.tenv "Arc" [ i64; i64; i64; i64; Ptr (Struct "Arc"); i64 ];
+  (* Node: first-arc, dist, pred-arc *)
+  Tenv.define_struct p.Prog.tenv "Nd" [ Ptr (Struct "Arc"); i64; Ptr (Struct "Arc") ];
+  let arc = Struct "Arc" and nd = Struct "Nd" in
+  let inf = 1_000_000_000 in
+
+  let b = B.create p ~name:"main" ~params:[] ~ret:i32 () in
+  let g = Wk_util.lcg_init b 0x3CFL in
+  let nodes = B.malloc b ~name:"nodes" ~count:(B.i64c n) nd in
+  (* per-node relaxation counters (basis-change statistics in real mcf) *)
+  let relax = B.malloc b ~name:"relax" ~count:(B.i64c n) i64 in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+      B.store b i64 (B.i64c 0) (B.gep_index b relax i));
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+      let v = B.gep_index b nodes i in
+      B.store b (Ptr arc) (B.null arc) (B.gep_field b v 0);
+      B.store b i64 (B.i64c inf) (B.gep_field b v 1);
+      B.store b (Ptr arc) (B.null arc) (B.gep_field b v 2));
+  (* arcs: each node gets a forward edge (connectivity) + random chords *)
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+      let v = B.gep_index b nodes i in
+      B.for_ b ~from:(B.i64c 0) ~below:(B.i64c out_deg) (fun c ->
+          let a = B.malloc b ~name:"arc" arc in
+          let is_fwd = B.icmp b Ieq W64 c (B.i64c 0) in
+          let fwd = B.binop b Urem W64 (B.add b W64 i (B.i64c 1)) (B.i64c n) in
+          let rnd = Wk_util.lcg_below b g n in
+          let dst = B.select b i64 is_fwd fwd rnd in
+          B.store b i64 dst (B.gep_field b a 0);
+          let cost = B.add b W64 (Wk_util.lcg_below b g 20) (B.i64c 1) in
+          B.store b i64 cost (B.gep_field b a 1);
+          let cap = B.add b W64 (Wk_util.lcg_below b g 8) (B.i64c 2) in
+          B.store b i64 cap (B.gep_field b a 2);
+          B.store b i64 (B.i64c 0) (B.gep_field b a 3);
+          B.store b i64 i (B.gep_field b a 5);
+          (* push on the source node's chain *)
+          let head = B.load b (Ptr arc) (B.gep_field b v 0) in
+          B.store b (Ptr arc) head (B.gep_field b a 4);
+          B.store b (Ptr arc) a (B.gep_field b v 0)));
+
+  let total_flow = B.local b ~name:"flow" i64 (B.i64c 0) in
+  let total_cost = B.local b ~name:"cost" i64 (B.i64c 0) in
+  let sink = n - 1 in
+
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c rounds) (fun _round ->
+      (* Bellman-Ford over residual capacity (forward arcs only) *)
+      B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+          let v = B.gep_index b nodes i in
+          B.store b i64 (B.i64c inf) (B.gep_field b v 1);
+          B.store b (Ptr arc) (B.null arc) (B.gep_field b v 2));
+      let src = B.gep_index b nodes (B.i64c 0) in
+      B.store b i64 (B.i64c 0) (B.gep_field b src 1);
+      let passes = 1 + (n / 3) in
+      B.for_ b ~from:(B.i64c 0) ~below:(B.i64c passes) (fun _pass ->
+          B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+              let v = B.gep_index b nodes i in
+              let dv = B.load b i64 (B.gep_field b v 1) in
+              let reachable = B.icmp b Islt W64 dv (B.i64c inf) in
+              B.if_ b reachable (fun () ->
+                  let cur = B.local b ~name:"cura" (Ptr arc) (B.load b (Ptr arc) (B.gep_field b v 0)) in
+                  B.while_ b
+                    (fun () ->
+                      let a = B.get b (Ptr arc) cur in
+                      B.icmp b Ine W64 (B.ptr_to_int b a) (B.i64c 0))
+                    (fun () ->
+                      let a = B.get b (Ptr arc) cur in
+                      let cap = B.load b i64 (B.gep_field b a 2) in
+                      let flw = B.load b i64 (B.gep_field b a 3) in
+                      let residual = B.sub b W64 cap flw in
+                      let has = B.icmp b Isgt W64 residual (B.i64c 0) in
+                      B.if_ b has (fun () ->
+                          let dst = B.load b i64 (B.gep_field b a 0) in
+                          let w = B.gep_index b nodes dst in
+                          let cost = B.load b i64 (B.gep_field b a 1) in
+                          let cand = B.add b W64 dv cost in
+                          let dw = B.load b i64 (B.gep_field b w 1) in
+                          let better = B.icmp b Islt W64 cand dw in
+                          B.if_ b better (fun () ->
+                              B.store b i64 cand (B.gep_field b w 1);
+                              B.store b (Ptr arc) a (B.gep_field b w 2);
+                              let rslot = B.gep_index b relax dst in
+                              let rc = B.load b i64 rslot in
+                              B.store b i64 (B.add b W64 rc (B.i64c 1)) rslot));
+                      B.set b (Ptr arc) cur (B.load b (Ptr arc) (B.gep_field b a 4))))));
+      (* augment one unit along the predecessor chain, if the sink was
+         reached (unit augmentation keeps the walk simple) *)
+      let snk = B.gep_index b nodes (B.i64c sink) in
+      let ds = B.load b i64 (B.gep_field b snk 1) in
+      let reached = B.icmp b Islt W64 ds (B.i64c inf) in
+      B.if_ b reached (fun () ->
+          let cur = B.local b ~name:"walk" (Ptr arc) (B.load b (Ptr arc) (B.gep_field b snk 2)) in
+          let steps = B.local b ~name:"steps" i64 (B.i64c 0) in
+          B.while_ b
+            (fun () ->
+              let a = B.get b (Ptr arc) cur in
+              let nz = B.icmp b Ine W64 (B.ptr_to_int b a) (B.i64c 0) in
+              let bounded = B.icmp b Islt W64 (B.get b i64 steps) (B.i64c (2 * n)) in
+              B.binop b And W8 nz bounded)
+            (fun () ->
+              let a = B.get b (Ptr arc) cur in
+              let f = B.load b i64 (B.gep_field b a 3) in
+              B.store b i64 (B.add b W64 f (B.i64c 1)) (B.gep_field b a 3);
+              (* hop to the arc that reached this arc's source node *)
+              let src_i = B.load b i64 (B.gep_field b a 5) in
+              let vsrc = B.gep_index b nodes src_i in
+              B.set b (Ptr arc) cur (B.load b (Ptr arc) (B.gep_field b vsrc 2));
+              B.set b i64 steps (B.add b W64 (B.get b i64 steps) (B.i64c 1)));
+          B.set b i64 total_flow (B.add b W64 (B.get b i64 total_flow) (B.i64c 1));
+          B.set b i64 total_cost (B.add b W64 (B.get b i64 total_cost) ds)));
+
+  Wk_util.print_kv b "flow" (B.get b i64 total_flow);
+  Wk_util.print_kv b "cost" (B.get b i64 total_cost);
+  Wk_util.print_kv b "relax" (Wk_util.checksum_i64 b relax n);
+  B.free b relax;
+  (* teardown: free the arc chains, then the node array *)
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun i ->
+      let v = B.gep_index b nodes i in
+      let cur = B.local b ~name:"fcur" (Ptr arc) (B.load b (Ptr arc) (B.gep_field b v 0)) in
+      B.while_ b
+        (fun () ->
+          let a = B.get b (Ptr arc) cur in
+          B.icmp b Ine W64 (B.ptr_to_int b a) (B.i64c 0))
+        (fun () ->
+          let a = B.get b (Ptr arc) cur in
+          let nxt = B.load b (Ptr arc) (B.gep_field b a 4) in
+          B.free b a;
+          B.set b (Ptr arc) cur nxt));
+  B.free b nodes;
+  B.ret b (Some (B.i32c 0));
+  p

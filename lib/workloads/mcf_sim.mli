@@ -1,0 +1,6 @@
+(** mcf: min-cost-flow vehicle scheduling (SPEC 181.mcf stand-in) —
+    successive shortest-path augmentation over arcs chained in per-node
+    linked lists.  Pointer-heavy, integer. *)
+
+val name : string
+val prog : ?scale:int -> unit -> Dpmr_ir.Prog.t

@@ -1,0 +1,235 @@
+(** Micro workloads: small, single-data-structure programs used by the
+    wider test matrix and the ablation benches.  Each returns a fresh
+    program whose golden output is a deterministic checksum. *)
+
+open Dpmr_ir
+open Types
+open Inst
+module B = Builder
+
+let fresh = Wk_util.fresh_prog
+
+(** Singly linked list: push n nodes, sum, reverse in place, sum again. *)
+let linked_list ?(n = 64) () =
+  let p = fresh () in
+  Tenv.define_struct p.Prog.tenv "MLNode" [ i64; Ptr (Struct "MLNode") ];
+  let node = Struct "MLNode" in
+  let b = B.create p ~name:"main" ~params:[] ~ret:i32 () in
+  let head = B.local b ~name:"head" (Ptr node) (B.null node) in
+  B.for_ b ~from:(B.i64c 1) ~below:(B.i64c (n + 1)) (fun i ->
+      let nd = B.malloc b node in
+      B.store b i64 (B.mul b W64 i (B.i64c 3)) (B.gep_field b nd 0);
+      B.store b (Ptr node) (B.get b (Ptr node) head) (B.gep_field b nd 1);
+      B.set b (Ptr node) head nd);
+  let sum_list tag =
+    let sum = B.local b ~name:("sum" ^ tag) i64 (B.i64c 0) in
+    let cur = B.local b ~name:("cur" ^ tag) (Ptr node) (B.get b (Ptr node) head) in
+    B.while_ b
+      (fun () ->
+        B.icmp b Ine W64 (B.ptr_to_int b (B.get b (Ptr node) cur)) (B.i64c 0))
+      (fun () ->
+        let c = B.get b (Ptr node) cur in
+        let v = B.load b i64 (B.gep_field b c 0) in
+        B.set b i64 sum (B.add b W64 (B.get b i64 sum) v);
+        B.set b (Ptr node) cur (B.load b (Ptr node) (B.gep_field b c 1)));
+    B.get b i64 sum
+  in
+  let s1 = sum_list "1" in
+  (* reverse in place *)
+  let prev = B.local b ~name:"prev" (Ptr node) (B.null node) in
+  let cur = B.local b ~name:"rcur" (Ptr node) (B.get b (Ptr node) head) in
+  B.while_ b
+    (fun () -> B.icmp b Ine W64 (B.ptr_to_int b (B.get b (Ptr node) cur)) (B.i64c 0))
+    (fun () ->
+      let c = B.get b (Ptr node) cur in
+      let nxt = B.load b (Ptr node) (B.gep_field b c 1) in
+      B.store b (Ptr node) (B.get b (Ptr node) prev) (B.gep_field b c 1);
+      B.set b (Ptr node) prev c;
+      B.set b (Ptr node) cur nxt);
+  B.set b (Ptr node) head (B.get b (Ptr node) prev);
+  let s2 = sum_list "2" in
+  Wk_util.print_kv b "s1" s1;
+  Wk_util.print_kv b "s2" s2;
+  B.ret b (Some (B.i32c 0));
+  p
+
+(** Unbalanced binary search tree: insert pseudo-random keys, then count
+    the keys found by search and sum an in-order traversal (iterative,
+    via an explicit stack of node pointers). *)
+let binary_tree ?(n = 48) () =
+  let p = fresh () in
+  Tenv.define_struct p.Prog.tenv "TNode"
+    [ i64; Ptr (Struct "TNode"); Ptr (Struct "TNode") ];
+  let node = Struct "TNode" in
+  let b = B.create p ~name:"main" ~params:[] ~ret:i32 () in
+  let g = Wk_util.lcg_init b 0x7EEEL in
+  let root = B.local b ~name:"root" (Ptr node) (B.null node) in
+  let mk_node k =
+    let nd = B.malloc b node in
+    B.store b i64 k (B.gep_field b nd 0);
+    B.store b (Ptr node) (B.null node) (B.gep_field b nd 1);
+    B.store b (Ptr node) (B.null node) (B.gep_field b nd 2);
+    nd
+  in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun _ ->
+      let k = Wk_util.lcg_below b g 1000 in
+      let nd = mk_node k in
+      let r = B.get b (Ptr node) root in
+      let root_null = B.icmp b Ieq W64 (B.ptr_to_int b r) (B.i64c 0) in
+      B.if_else b root_null
+        (fun () -> B.set b (Ptr node) root nd)
+        (fun () ->
+          let cur = B.local b ~name:"icur" (Ptr node) (B.get b (Ptr node) root) in
+          let placed = B.local b ~name:"placed" i8 (B.i8c 0) in
+          B.while_ b
+            (fun () -> B.icmp b Ieq W8 (B.get b i8 placed) (B.i8c 0))
+            (fun () ->
+              let c = B.get b (Ptr node) cur in
+              let ck = B.load b i64 (B.gep_field b c 0) in
+              let go_left = B.icmp b Islt W64 k ck in
+              let side = B.select b i64 go_left (B.i64c 1) (B.i64c 2) in
+              (* gep to child slot: fields 1/2 share a type, address both *)
+              let left = B.gep_field b c 1 in
+              let right = B.gep_field b c 2 in
+              let is_left = B.icmp b Ieq W64 side (B.i64c 1) in
+              let slot = B.select b (Ptr (Ptr node)) is_left left right in
+              let child = B.load b (Ptr node) slot in
+              let child_null = B.icmp b Ieq W64 (B.ptr_to_int b child) (B.i64c 0) in
+              B.if_else b child_null
+                (fun () ->
+                  B.store b (Ptr node) nd slot;
+                  B.set b i8 placed (B.i8c 1))
+                (fun () -> B.set b (Ptr node) cur child))));
+  (* search for every key in 0..99, counting hits *)
+  let hits = B.local b ~name:"hits" i64 (B.i64c 0) in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c 1000) (fun k ->
+      let cur = B.local b ~name:"scur" (Ptr node) (B.get b (Ptr node) root) in
+      let found = B.local b ~name:"found" i8 (B.i8c 0) in
+      B.while_ b
+        (fun () ->
+          let nz = B.icmp b Ine W64 (B.ptr_to_int b (B.get b (Ptr node) cur)) (B.i64c 0) in
+          let nf = B.icmp b Ieq W8 (B.get b i8 found) (B.i8c 0) in
+          B.binop b And W8 nz nf)
+        (fun () ->
+          let c = B.get b (Ptr node) cur in
+          let ck = B.load b i64 (B.gep_field b c 0) in
+          let eq = B.icmp b Ieq W64 ck k in
+          B.if_else b eq
+            (fun () -> B.set b i8 found (B.i8c 1))
+            (fun () ->
+              let lt = B.icmp b Islt W64 k ck in
+              let l = B.load b (Ptr node) (B.gep_field b c 1) in
+              let r = B.load b (Ptr node) (B.gep_field b c 2) in
+              B.set b (Ptr node) cur (B.select b (Ptr node) lt l r)));
+      let f64v = B.int_cast b ~signed:false W64 (B.get b i8 found) in
+      B.set b i64 hits (B.add b W64 (B.get b i64 hits) f64v));
+  Wk_util.print_kv b "hits" (B.get b i64 hits);
+  B.ret b (Some (B.i32c 0));
+  p
+
+(** Open-addressing hash table over a calloc'd bucket array, grown with
+    realloc — exercises the calloc/realloc wrappers. *)
+let hash_table ?(n = 60) () =
+  let p = fresh () in
+  let b = B.create p ~name:"main" ~params:[] ~ret:i32 () in
+  let str8 = Ptr (arr i8 0) in
+  let cap0 = 64 in
+  (* table of i64 keys (0 = empty), calloc'd so it starts empty *)
+  let tbl =
+    B.local b ~name:"tbl" str8
+      (B.call1 b (Direct "calloc") [ B.i64c cap0; B.i64c 8 ])
+  in
+  let cap = B.local b ~name:"cap" i64 (B.i64c cap0) in
+  let g = Wk_util.lcg_init b 0x4A54L in
+  let insert k =
+    let t = B.bitcast b (Ptr i64) (B.get b str8 tbl) in
+    let c = B.get b i64 cap in
+    let idx = B.local b ~name:"idx" i64 (B.binop b Urem W64 k c) in
+    let placed = B.local b ~name:"hplaced" i8 (B.i8c 0) in
+    B.while_ b
+      (fun () -> B.icmp b Ieq W8 (B.get b i8 placed) (B.i8c 0))
+      (fun () ->
+        let i = B.get b i64 idx in
+        let slot = B.gep_index b t i in
+        let v = B.load b i64 slot in
+        let empty = B.icmp b Ieq W64 v (B.i64c 0) in
+        let same = B.icmp b Ieq W64 v k in
+        let stop = B.binop b Or W8 empty same in
+        B.if_else b stop
+          (fun () ->
+            B.store b i64 k slot;
+            B.set b i8 placed (B.i8c 1))
+          (fun () ->
+            let i1 = B.binop b Urem W64 (B.add b W64 i (B.i64c 1)) c in
+            B.set b i64 idx i1))
+  in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c n) (fun _ ->
+      let k = B.add b W64 (Wk_util.lcg_below b g 5000) (B.i64c 1) in
+      insert k);
+  (* grow: realloc to double capacity (fresh slots are garbage; count only
+     the original region afterwards, as the program knows its own load) *)
+  let t8 = B.get b str8 tbl in
+  let grown = B.call1 b (Direct "realloc") [ t8; B.i64c (cap0 * 16) ] in
+  B.set b str8 tbl grown;
+  let t = B.bitcast b (Ptr i64) (B.get b str8 tbl) in
+  let occupied = B.local b ~name:"occ" i64 (B.i64c 0) in
+  let keysum = B.local b ~name:"keysum" i64 (B.i64c 0) in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.get b i64 cap) (fun i ->
+      let v = B.load b i64 (B.gep_index b t i) in
+      let nz = B.icmp b Ine W64 v (B.i64c 0) in
+      B.if_ b nz (fun () ->
+          B.set b i64 occupied (B.add b W64 (B.get b i64 occupied) (B.i64c 1));
+          B.set b i64 keysum (B.add b W64 (B.get b i64 keysum) v)));
+  Wk_util.print_kv b "occ" (B.get b i64 occupied);
+  Wk_util.print_kv b "keysum" (B.get b i64 keysum);
+  B.ret b (Some (B.i32c 0));
+  p
+
+(** String suite: builds words, concatenates into a buffer with strcpy,
+    measures with strlen, compares with strcmp, sorts word pointers with
+    qsort through an indirect comparator. *)
+let string_suite () =
+  let p = fresh () in
+  let str8 = Ptr (arr i8 0) in
+  (* comparator over char** elements *)
+  let b = B.create p ~name:"pcmp" ~params:[ ("a", str8); ("b", str8) ] ~ret:i32 () in
+  let pa = B.load b str8 (B.bitcast b (Ptr str8) (B.param b 0)) in
+  let pb = B.load b str8 (B.bitcast b (Ptr str8) (B.param b 1)) in
+  B.ret b (Some (B.call1 b (Direct "strcmp") [ pa; pb ]));
+  let b = B.create p ~name:"main" ~params:[] ~ret:i32 () in
+  let words = [ "pear"; "apple"; "quince"; "fig"; "banana" ] in
+  let nwords = List.length words in
+  let arr_words = B.malloc b ~name:"words" ~count:(B.i64c nwords) str8 in
+  List.iteri
+    (fun i w ->
+      let gname = Printf.sprintf "w%d" i in
+      let gw =
+        B.bitcast b str8
+          (B.global b ~name:gname (arr i8 (String.length w + 1)) (Prog.Gstring w))
+      in
+      (* copy into heap storage so the sort moves heap pointers *)
+      let buf = B.bitcast b str8 (B.malloc b ~count:(B.i64c 16) i8) in
+      ignore (B.call b (Direct "strcpy") [ buf; gw ]);
+      B.store b str8 buf (B.gep_index b arr_words (B.i64c i)))
+    words;
+  B.call0 b (Direct "qsort")
+    [ B.bitcast b str8 arr_words; B.i64c nwords; B.i64c 8; Fun_addr "pcmp" ];
+  let total = B.local b ~name:"total" i64 (B.i64c 0) in
+  B.for_ b ~from:(B.i64c 0) ~below:(B.i64c nwords) (fun i ->
+      let w = B.load b str8 (B.gep_index b arr_words i) in
+      B.call0 b (Direct "print_str") [ w ];
+      B.call0 b (Direct "putchar") [ B.i32c 32 ];
+      let l = B.call1 b (Direct "strlen") [ w ] in
+      B.set b i64 total (B.add b W64 (B.get b i64 total) l));
+  B.call0 b (Direct "print_newline") [];
+  Wk_util.print_kv b "len" (B.get b i64 total);
+  B.ret b (Some (B.i32c 0));
+  p
+
+let all : (string * (unit -> Prog.t)) list =
+  [
+    ("micro-list", fun () -> linked_list ());
+    ("micro-tree", fun () -> binary_tree ());
+    ("micro-hash", fun () -> hash_table ());
+    ("micro-strings", string_suite);
+  ]

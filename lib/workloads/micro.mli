@@ -1,0 +1,19 @@
+(** Micro workloads: small single-data-structure programs used by the
+    wider test matrix and ablation benches. *)
+
+open Dpmr_ir
+
+(** Linked list: build, sum, reverse in place, sum again. *)
+val linked_list : ?n:int -> unit -> Prog.t
+
+(** Unbalanced BST: random inserts, then membership counting. *)
+val binary_tree : ?n:int -> unit -> Prog.t
+
+(** Open-addressing hash table over calloc'd storage, grown with
+    realloc. *)
+val hash_table : ?n:int -> unit -> Prog.t
+
+(** strcpy/strlen/strcmp/qsort-over-pointers workout. *)
+val string_suite : unit -> Prog.t
+
+val all : (string * (unit -> Prog.t)) list

@@ -1,0 +1,69 @@
+(** Shared helpers for the benchmark workloads.
+
+    Workload inputs are generated *inside* the IR with a 64-bit LCG, so
+    input data is part of program semantics: golden and transformed builds
+    see identical inputs, and runs are reproducible by construction. *)
+
+open Dpmr_ir
+open Types
+open Inst
+
+let fresh_prog () =
+  let p = Prog.create () in
+  Dpmr_vm.Extern.declare_signatures p;
+  p
+
+(** Mutable LCG state in a stack slot; [next] emits one step and returns
+    the new value (a positive pseudo-random i64). *)
+type lcg = { slot : operand }
+
+let lcg_init b seed = { slot = Builder.local b ~name:"lcg" i64 (Builder.i64c' seed) }
+
+let lcg_next b g =
+  let s = Builder.get b i64 g.slot in
+  let m = Builder.mul b W64 s (Builder.i64c' 6364136223846793005L) in
+  let s' = Builder.add b W64 m (Builder.i64c' 1442695040888963407L) in
+  Builder.set b i64 g.slot s';
+  (* top bits are the most random; keep the result non-negative *)
+  Builder.binop b Lshr W64 s' (Builder.i64c 17)
+
+(** [lcg_below b g n]: pseudo-random i64 in [0, n). *)
+let lcg_below b g n =
+  let v = lcg_next b g in
+  Builder.binop b Urem W64 v (Builder.i64c n)
+
+(** Print "label=value\n" for an i64 operand. *)
+let print_kv b label v =
+  String.iter (fun ch -> Builder.call0 b (Direct "putchar") [ Builder.i32c (Char.code ch) ]) label;
+  Builder.call0 b (Direct "putchar") [ Builder.i32c (Char.code '=') ];
+  Builder.call0 b (Direct "print_int") [ v ];
+  Builder.call0 b (Direct "print_newline") []
+
+(** Print "label=value\n" for an f64 operand. *)
+let print_kv_f b label v =
+  String.iter (fun ch -> Builder.call0 b (Direct "putchar") [ Builder.i32c (Char.code ch) ]) label;
+  Builder.call0 b (Direct "putchar") [ Builder.i32c (Char.code '=') ];
+  Builder.call0 b (Direct "print_float") [ v ];
+  Builder.call0 b (Direct "print_newline") []
+
+(** Sum an i64 array (wrapping) — the standard output checksum. *)
+let checksum_i64 b arr n =
+  let acc = Builder.local b ~name:"cksum" i64 (Builder.i64c 0) in
+  Builder.for_ b ~from:(Builder.i64c 0) ~below:(Builder.i64c n) (fun i ->
+      let v = Builder.load b i64 (Builder.gep_index b arr i) in
+      let a = Builder.get b i64 acc in
+      let a = Builder.mul b W64 a (Builder.i64c 31) in
+      Builder.set b i64 acc (Builder.add b W64 a v));
+  Builder.get b i64 acc
+
+(** Sum of an f64 array. *)
+let sum_f64 b arr n =
+  let acc = Builder.local b ~name:"fsum" Float (Builder.fc 0.0) in
+  Builder.for_ b ~from:(Builder.i64c 0) ~below:(Builder.i64c n) (fun i ->
+      let v = Builder.load b Float (Builder.gep_index b arr i) in
+      Builder.set b Float acc (Builder.fadd b (Builder.get b Float acc) v));
+  Builder.get b Float acc
+
+let exit_with b code =
+  Builder.call0 b (Direct "exit") [ Builder.i32c code ];
+  Builder.ret b (Some (Builder.i32c code))

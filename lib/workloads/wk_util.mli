@@ -1,0 +1,34 @@
+(** Shared helpers for the benchmark workloads.
+
+    Workload inputs are generated inside the IR with a 64-bit LCG, so
+    input data is part of program semantics: golden and transformed
+    builds see identical inputs, and runs are reproducible by
+    construction. *)
+
+open Dpmr_ir
+open Inst
+
+(** A program with all extern signatures declared. *)
+val fresh_prog : unit -> Prog.t
+
+type lcg
+(** Mutable LCG state in a stack slot. *)
+
+val lcg_init : Builder.t -> int64 -> lcg
+
+(** Emit one LCG step; returns a non-negative pseudo-random i64. *)
+val lcg_next : Builder.t -> lcg -> operand
+
+(** Pseudo-random i64 in [0, n). *)
+val lcg_below : Builder.t -> lcg -> int -> operand
+
+(** Print "label=value\n" for an i64 / f64 operand. *)
+val print_kv : Builder.t -> string -> operand -> unit
+
+val print_kv_f : Builder.t -> string -> operand -> unit
+
+(** Multiplicative rolling checksum of an i64 array. *)
+val checksum_i64 : Builder.t -> operand -> int -> operand
+
+val sum_f64 : Builder.t -> operand -> int -> operand
+val exit_with : Builder.t -> int -> unit

@@ -1,0 +1,38 @@
+(** Registry of the benchmark workloads (the §3.3 application set). *)
+
+type entry = {
+  name : string;
+  description : string;
+  build : ?scale:int -> unit -> Dpmr_ir.Prog.t;
+}
+
+let all =
+  [
+    {
+      name = Art_sim.name;
+      description = "neural network recognizing objects in a thermal image (FP, pointer-light)";
+      build = (fun ?scale () -> Art_sim.prog ?scale ());
+    };
+    {
+      name = Bzip2_sim.name;
+      description = "in-memory block compression with round-trip verify (int, pointer-light)";
+      build = (fun ?scale () -> Bzip2_sim.prog ?scale ());
+    };
+    {
+      name = Equake_sim.name;
+      description = "seismic wave propagation on a sparse mesh (FP, pointer-heavy)";
+      build = (fun ?scale () -> Equake_sim.prog ?scale ());
+    };
+    {
+      name = Mcf_sim.name;
+      description = "min-cost-flow vehicle scheduling on linked arcs (int, pointer-heavy)";
+      build = (fun ?scale () -> Mcf_sim.prog ?scale ());
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Workloads.find: unknown workload %S" name)
+
+let names = List.map (fun e -> e.name) all

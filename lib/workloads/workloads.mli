@@ -1,0 +1,13 @@
+(** Registry of the benchmark workloads — stand-ins for the §3.3
+    application set (SPEC CPU2000 art, bzip2, equake, mcf), chosen to
+    span the same space of pointer density and allocation behaviour. *)
+
+type entry = {
+  name : string;
+  description : string;
+  build : ?scale:int -> unit -> Dpmr_ir.Prog.t;
+}
+
+val all : entry list
+val find : string -> entry
+val names : string list

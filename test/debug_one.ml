@@ -1,0 +1,3 @@
+(* scratch debugging executable (kept for development; not part of the
+   test suite) *)
+let () = print_endline "dpmr debug scratch"

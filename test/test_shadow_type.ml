@@ -1,0 +1,239 @@
+(* Shadow and augmented type tests: Tables 2.1–2.5 and 4.1/4.2, including
+   the worked examples of Tables 2.2 and 2.4. *)
+
+open Dpmr_ir
+open Types
+module St = Dpmr_core.Shadow_type
+module Config = Dpmr_core.Config
+
+let mk_ctx ?(mode = Config.Sds) () =
+  let tenv = Tenv.create () in
+  (tenv, St.create tenv mode)
+
+let fields_of tenv = function
+  | Struct n | Union n -> Tenv.fields tenv n
+  | t -> Alcotest.failf "expected named aggregate, got %a" Types.pp t
+
+(* ---- Table 2.2, example 1: int8[]* ---- *)
+let test_st_byte_array_ptr () =
+  let tenv, ctx = mk_ctx () in
+  let t = Ptr (arr i8 0) in
+  match St.st ctx t with
+  | Some s ->
+      let fs = fields_of tenv s in
+      Alcotest.(check int) "two fields" 2 (List.length fs);
+      Alcotest.(check bool) "rop has original type" true (List.nth fs 0 = t);
+      Alcotest.(check bool) "nsop is void*" true (List.nth fs 1 = St.void_ptr)
+  | None -> Alcotest.fail "st(int8[]*) must not be null"
+
+(* ---- Table 2.2, example 2: int8[]** builds on int8[]* ---- *)
+let test_st_byte_array_ptr_ptr () =
+  let tenv, ctx = mk_ctx () in
+  let inner = Ptr (arr i8 0) in
+  let t = Ptr inner in
+  let st_inner = Option.get (St.st ctx inner) in
+  match St.st ctx t with
+  | Some s ->
+      let fs = fields_of tenv s in
+      Alcotest.(check bool) "rop type" true (List.nth fs 0 = t);
+      Alcotest.(check bool) "nsop points at inner shadow" true
+        (List.nth fs 1 = Ptr st_inner)
+  | None -> Alcotest.fail "st must not be null"
+
+(* ---- Table 2.2, example 3: recursive LinkedList ---- *)
+let test_st_linked_list () =
+  let tenv, ctx = mk_ctx () in
+  Tenv.define_struct tenv "LinkedList" [ i32; Ptr (Struct "LinkedList") ];
+  match St.st ctx (Struct "LinkedList") with
+  | Some s -> (
+      let fs = fields_of tenv s in
+      (* the int32 data field drops out; only nxt's pair remains *)
+      Alcotest.(check int) "one field" 1 (List.length fs);
+      let pair = fields_of tenv (List.hd fs) in
+      Alcotest.(check bool) "rop: LinkedList*" true
+        (List.nth pair 0 = Ptr (Struct "LinkedList"));
+      (* nsop recursion: points back at the shadow type itself *)
+      match List.nth pair 1 with
+      | Ptr inner -> Alcotest.(check bool) "nsop recursive" true (inner = s)
+      | t -> Alcotest.failf "nsop should be a pointer, got %a" Types.pp t)
+  | None -> Alcotest.fail "st(LinkedList) must not be null"
+
+(* ---- Table 2.2, example 4: struct file with multiple pointers ---- *)
+let test_st_file_struct () =
+  let tenv, ctx = mk_ctx () in
+  Tenv.define_struct tenv "dir" [];
+  Tenv.define_struct tenv "file" [ Ptr (arr i8 0); i32; Ptr (Struct "dir") ];
+  match St.st ctx (Struct "file") with
+  | Some s ->
+      let fs = fields_of tenv s in
+      (* name pair + parent pair; the int32 size drops *)
+      Alcotest.(check int) "two pair fields" 2 (List.length fs);
+      List.iter
+        (fun f -> Alcotest.(check int) "pair" 2 (List.length (fields_of tenv f)))
+        fs
+  | None -> Alcotest.fail "st(file) must not be null"
+
+let test_st_nulls () =
+  let tenv, ctx = mk_ctx () in
+  Tenv.define_struct tenv "plain" [ i32; Float; arr i64 4 ];
+  Alcotest.(check bool) "st(i32) = null" true (St.st ctx i32 = None);
+  Alcotest.(check bool) "st(f64) = null" true (St.st ctx Float = None);
+  Alcotest.(check bool) "st(plain struct) = null" true (St.st ctx (Struct "plain") = None);
+  Alcotest.(check bool) "st(fun ty) = null" true
+    (St.st ctx (fun_ty (Ptr i8) [ Ptr i8 ]) = None);
+  (* pointer to pointer-free data still has a shadow (the pair itself) *)
+  Alcotest.(check bool) "st(i32*) non-null" true (St.st ctx (Ptr i32) <> None)
+
+let test_st_array () =
+  let tenv, ctx = mk_ctx () in
+  ignore tenv;
+  match St.st ctx (arr (Ptr i32) 5) with
+  | Some (Arr (_, 5)) -> ()
+  | _ -> Alcotest.fail "st of pointer array should be a 5-array of pairs"
+
+let test_st_memoized () =
+  let _, ctx = mk_ctx () in
+  let a = St.st ctx (Ptr i32) and b = St.st ctx (Ptr i32) in
+  Alcotest.(check bool) "same result object" true (a = b)
+
+(* ---- Table 2.4: augmented function type (SDS) ---- *)
+let test_at_fun_sds () =
+  let _, ctx = mk_ctx () in
+  let s = Ptr (arr i8 0) in
+  let ft = { ret = s; params = [ s; s ]; vararg = false } in
+  let aug = St.at_fun ctx ft in
+  (* rvSop + (s1, s1Rop, s1Nsop) + (s2, s2Rop, s2Nsop) = 7 params *)
+  Alcotest.(check int) "7 params" 7 (List.length aug.params);
+  Alcotest.(check bool) "ret unchanged" true (aug.ret = s);
+  (match List.hd aug.params with
+  | Ptr (Struct _) -> ()
+  | t -> Alcotest.failf "rvSop should point at a pair struct, got %a" Types.pp t);
+  Alcotest.(check bool) "s1 and rop typed alike" true
+    (List.nth aug.params 1 = List.nth aug.params 2);
+  Alcotest.(check bool) "s1 nsop is void*" true (List.nth aug.params 3 = St.void_ptr)
+
+(* ---- Table 4.2: augmented function type (MDS) ---- *)
+let test_at_fun_mds () =
+  let _, ctx = mk_ctx ~mode:Config.Mds () in
+  let s = Ptr (arr i8 0) in
+  let ft = { ret = s; params = [ s; s ]; vararg = false } in
+  let aug = St.at_fun ctx ft in
+  (* rvRopPtr + (s1, s1Rop) + (s2, s2Rop) = 5 params *)
+  Alcotest.(check int) "5 params" 5 (List.length aug.params);
+  Alcotest.(check bool) "rvRopPtr: s*" true (List.hd aug.params = Ptr s)
+
+let test_at_fun_non_pointer () =
+  let _, ctx = mk_ctx () in
+  let ft = { ret = i32; params = [ i32; Float ]; vararg = false } in
+  let aug = St.at_fun ctx ft in
+  Alcotest.(check int) "unchanged arity" 2 (List.length aug.params);
+  Alcotest.(check bool) "identical" true (aug.params = ft.params)
+
+let test_at_identity_on_fun_free_types () =
+  let tenv, ctx = mk_ctx () in
+  Tenv.define_struct tenv "LL" [ i32; Ptr (Struct "LL") ];
+  Alcotest.(check bool) "at(LL) = LL" true (St.at ctx (Struct "LL") = Struct "LL");
+  Alcotest.(check bool) "at(i32) = i32" true (St.at ctx i32 = i32);
+  Alcotest.(check bool) "at(LL*) = LL*" true
+    (St.at ctx (Ptr (Struct "LL")) = Ptr (Struct "LL"))
+
+let test_at_rewrites_fun_ptr_fields () =
+  let tenv, ctx = mk_ctx () in
+  Tenv.define_struct tenv "ops" [ Ptr (fun_ty Void [ Ptr i8 ]); i32 ];
+  match St.at ctx (Struct "ops") with
+  | Struct n ->
+      Alcotest.(check bool) "renamed" true (n <> "ops");
+      (match Tenv.fields tenv n with
+      | [ Ptr (Fun ft); Int W32 ] ->
+          (* void(ptr) becomes void(ptr, rop, nsop) under SDS *)
+          Alcotest.(check int) "aug params" 3 (List.length ft.params)
+      | _ -> Alcotest.fail "unexpected aug fields")
+  | t -> Alcotest.failf "expected struct, got %a" Types.pp t
+
+(* ---- φ(): Equation 2.2 ---- *)
+let test_phi () =
+  let tenv, ctx = mk_ctx () in
+  Tenv.define_struct tenv "mix" [ i32; Ptr i8; Float; Ptr i32; i64 ];
+  Alcotest.(check int) "phi f1 (first ptr)" 0 (St.phi ctx "mix" 1);
+  Alcotest.(check int) "phi f3 (second ptr)" 1 (St.phi ctx "mix" 3)
+
+(* ---- Table 2.5: sat = st . at ---- *)
+let test_sat_equals_st_of_at () =
+  let tenv, ctx = mk_ctx () in
+  Tenv.define_struct tenv "node" [ Ptr (Struct "node"); Ptr (fun_ty i32 [ Ptr i8 ]); i64 ];
+  let cases =
+    [ i32; Ptr i32; Ptr (Ptr i8); Struct "node"; arr (Ptr i32) 3; Ptr (Struct "node") ]
+  in
+  List.iter
+    (fun t ->
+      let sat = St.sat ctx t in
+      let st_at = St.st ctx (St.at ctx t) in
+      let eq =
+        match (sat, st_at) with
+        | None, None -> true
+        | Some a, Some b -> struct_eq tenv a b
+        | _ -> false
+      in
+      Alcotest.(check bool) (Fmt.str "sat %a" Types.pp t) true eq)
+    cases
+
+(* ---- mutual recursion ---- *)
+let test_mutually_recursive () =
+  let tenv, ctx = mk_ctx () in
+  Tenv.define_struct tenv "A" [ Ptr (Struct "B"); i32 ];
+  Tenv.define_struct tenv "B" [ Ptr (Struct "A"); Float ];
+  match (St.st ctx (Struct "A"), St.st ctx (Struct "B")) with
+  | Some sa, Some sb ->
+      let pa = fields_of tenv sa and pb = fields_of tenv sb in
+      Alcotest.(check int) "A shadow: 1 pair" 1 (List.length pa);
+      Alcotest.(check int) "B shadow: 1 pair" 1 (List.length pb);
+      (* A's pair nsop points at B's shadow and vice versa *)
+      let nsop_of s = List.nth (fields_of tenv (List.hd (fields_of tenv s))) 1 in
+      Alcotest.(check bool) "A -> B shadow" true (nsop_of sa = Ptr sb);
+      Alcotest.(check bool) "B -> A shadow" true (nsop_of sb = Ptr sa)
+  | _ -> Alcotest.fail "shadows must exist"
+
+(* ---- shadow size bound: sizeof(st(at(t))) <= 2 * sizeof(at(t)) for
+   scalar-pointer-dense types (§2.9's worst case) ---- *)
+let prop_shadow_size_bound =
+  QCheck.Test.make ~name:"shadow size at most 2x for pointer arrays" ~count:50
+    QCheck.(int_range 1 32)
+    (fun n ->
+      let tenv, ctx = mk_ctx () in
+      let t = arr (Ptr i64) n in
+      match St.sat ctx t with
+      | Some s -> Layout.size_of tenv s = 2 * Layout.size_of tenv t
+      | None -> false)
+
+let prop_st_idempotent_cache =
+  QCheck.Test.make ~name:"st is deterministic across calls" ~count:50
+    QCheck.(int_range 0 5)
+    (fun depth ->
+      let _, ctx = mk_ctx () in
+      let rec mk d = if d = 0 then Ptr i32 else Ptr (mk (d - 1)) in
+      let t = mk depth in
+      St.st ctx t = St.st ctx t)
+
+let suites =
+  [
+    ( "shadow_type",
+      [
+        Alcotest.test_case "Table 2.2: int8[]*" `Quick test_st_byte_array_ptr;
+        Alcotest.test_case "Table 2.2: int8[]**" `Quick test_st_byte_array_ptr_ptr;
+        Alcotest.test_case "Table 2.2: LinkedList" `Quick test_st_linked_list;
+        Alcotest.test_case "Table 2.2: file struct" `Quick test_st_file_struct;
+        Alcotest.test_case "null shadows" `Quick test_st_nulls;
+        Alcotest.test_case "pointer array shadow" `Quick test_st_array;
+        Alcotest.test_case "memoization" `Quick test_st_memoized;
+        Alcotest.test_case "Table 2.4: SDS aug fun type" `Quick test_at_fun_sds;
+        Alcotest.test_case "Table 4.2: MDS aug fun type" `Quick test_at_fun_mds;
+        Alcotest.test_case "aug fun: no pointers" `Quick test_at_fun_non_pointer;
+        Alcotest.test_case "at identity on fun-free types" `Quick test_at_identity_on_fun_free_types;
+        Alcotest.test_case "at rewrites fun-ptr fields" `Quick test_at_rewrites_fun_ptr_fields;
+        Alcotest.test_case "phi field mapping" `Quick test_phi;
+        Alcotest.test_case "Table 2.5: sat = st.at" `Quick test_sat_equals_st_of_at;
+        Alcotest.test_case "mutually recursive shadows" `Quick test_mutually_recursive;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [ prop_shadow_size_bound; prop_st_idempotent_cache ] );
+  ]

@@ -1,0 +1,227 @@
+(* Tests for the interpreter: arithmetic, control flow, memory ops,
+   function calls, externs, outcome classification, cost accounting. *)
+
+open Dpmr_ir
+open Types
+
+let run_prog ?(args = [ "prog" ]) p =
+  Verifier.check_prog p;
+  let vm = Dpmr_vm.Vm.create p in
+  Dpmr_vm.Extern.register_base vm;
+  Dpmr_vm.Vm.run ~args vm
+
+let fresh_prog () =
+  let p = Prog.create () in
+  Dpmr_vm.Extern.declare_signatures p;
+  p
+
+let main_builder p = Builder.create p ~name:"main" ~params:[] ~ret:i32 ()
+
+let test_arith_loop () =
+  let p = fresh_prog () in
+  let b = main_builder p in
+  let acc = Builder.local b i64 (Builder.i64c 0) in
+  Builder.for_ b ~from:(Builder.i64c 1) ~below:(Builder.i64c 11) (fun i ->
+      let a = Builder.get b i64 acc in
+      Builder.set b i64 acc (Builder.add b W64 a i));
+  Builder.call0 b (Inst.Direct "print_int") [ Builder.get b i64 acc ];
+  Builder.ret b (Some (Builder.i32c 0));
+  let r = run_prog p in
+  Alcotest.(check string) "sum 1..10" "55" r.Dpmr_vm.Outcome.output;
+  Alcotest.(check bool) "normal" true (r.Dpmr_vm.Outcome.outcome = Dpmr_vm.Outcome.Normal)
+
+let test_linked_list () =
+  let p = fresh_prog () in
+  Tenv.define_struct p.Prog.tenv "LL" [ i32; Ptr (Struct "LL") ];
+  let ll = Struct "LL" in
+  (* createNode(data, last) -> node, as in Figure 2.9 *)
+  let b = Builder.create p ~name:"createNode" ~params:[ ("data", i32); ("last", Ptr ll) ] ~ret:(Ptr ll) () in
+  let n = Builder.malloc b ~name:"n" ll in
+  let data_ptr = Builder.gep_field b n 0 in
+  Builder.store b i32 (Builder.param b 0) data_ptr;
+  let nxt_ptr = Builder.gep_field b n 1 in
+  Builder.store b (Ptr ll) (Builder.null ll) nxt_ptr;
+  let last = Builder.param b 1 in
+  let is_null = Builder.icmp b Inst.Ine W64 (Builder.ptr_to_int b last) (Builder.i64c 0) in
+  Builder.if_ b is_null (fun () ->
+      let last_nxt = Builder.gep_field b last 1 in
+      Builder.store b (Ptr ll) n last_nxt);
+  Builder.ret b (Some n);
+  (* getSum(n), as in Figure 2.10 *)
+  let b = Builder.create p ~name:"getSum" ~params:[ ("n", Ptr ll) ] ~ret:i32 () in
+  let sum = Builder.local b ~name:"sum" i32 (Builder.i32c 0) in
+  let cur = Builder.local b ~name:"cur" (Ptr ll) (Builder.param b 0) in
+  Builder.while_ b
+    (fun () ->
+      let c = Builder.get b (Ptr ll) cur in
+      Builder.icmp b Inst.Ine W64 (Builder.ptr_to_int b c) (Builder.i64c 0))
+    (fun () ->
+      let c = Builder.get b (Ptr ll) cur in
+      let v = Builder.load b i32 (Builder.gep_field b c 0) in
+      let s = Builder.get b i32 sum in
+      Builder.set b i32 sum (Builder.add b W32 s v);
+      let nxt = Builder.load b (Ptr ll) (Builder.gep_field b c 1) in
+      Builder.set b (Ptr ll) cur nxt);
+  Builder.ret b (Some (Builder.get b i32 sum));
+  (* main: build 1..5, print sum *)
+  let b = main_builder p in
+  let head = Builder.call1 b (Inst.Direct "createNode") [ Builder.i32c 1; Builder.null ll ] in
+  let tail = Builder.local b (Ptr ll) head in
+  Builder.for_ b ~from:(Builder.i64c 2) ~below:(Builder.i64c 6) (fun i ->
+      let t = Builder.get b (Ptr ll) tail in
+      let v = Builder.int_cast b W32 i in
+      let nn = Builder.call1 b (Inst.Direct "createNode") [ v; t ] in
+      Builder.set b (Ptr ll) tail nn);
+  let s = Builder.call1 b (Inst.Direct "getSum") [ head ] in
+  Builder.call0 b (Inst.Direct "print_int") [ Builder.int_cast b W64 s ];
+  Builder.ret b (Some (Builder.i32c 0));
+  let r = run_prog p in
+  Alcotest.(check string) "list sum" "15" r.Dpmr_vm.Outcome.output
+
+let test_segfault_classified_as_crash () =
+  let p = fresh_prog () in
+  let b = main_builder p in
+  let wild = Builder.int_to_ptr b (Ptr i32) (Builder.i64c 0x7) in
+  let v = Builder.load b i32 wild in
+  Builder.call0 b (Inst.Direct "print_int") [ Builder.int_cast b W64 v ];
+  Builder.ret b (Some (Builder.i32c 0));
+  let r = run_prog p in
+  Alcotest.(check bool) "crash" true (Dpmr_vm.Outcome.is_crash r)
+
+let test_exit_code_classification () =
+  let p = fresh_prog () in
+  let b = main_builder p in
+  Builder.call0 b (Inst.Direct "exit") [ Builder.i32c 3 ];
+  Builder.ret b (Some (Builder.i32c 0));
+  let r = run_prog p in
+  Alcotest.(check bool) "app exit 3" true
+    (r.Dpmr_vm.Outcome.outcome = Dpmr_vm.Outcome.App_exit 3)
+
+let test_timeout () =
+  let p = fresh_prog () in
+  let b = main_builder p in
+  Builder.while_ b (fun () -> Builder.i8c 1) (fun () -> ());
+  Builder.ret b (Some (Builder.i32c 0));
+  Verifier.check_prog p;
+  let vm = Dpmr_vm.Vm.create ~budget:10_000L p in
+  Dpmr_vm.Extern.register_base vm;
+  let r = Dpmr_vm.Vm.run vm in
+  Alcotest.(check bool) "timeout" true (r.Dpmr_vm.Outcome.outcome = Dpmr_vm.Outcome.Timeout)
+
+let test_function_pointers () =
+  let p = fresh_prog () in
+  let b = Builder.create p ~name:"double" ~params:[ ("x", i64) ] ~ret:i64 () in
+  Builder.ret b (Some (Builder.add b W64 (Builder.param b 0) (Builder.param b 0)));
+  let b = main_builder p in
+  let fp = Builder.local b (Ptr (fun_ty i64 [ i64 ])) (Inst.Fun_addr "double") in
+  let f = Builder.get b (Ptr (fun_ty i64 [ i64 ])) fp in
+  let v = Builder.call1 b (Inst.Indirect f) [ Builder.i64c 21 ] in
+  Builder.call0 b (Inst.Direct "print_int") [ v ];
+  Builder.ret b (Some (Builder.i32c 0));
+  let r = run_prog p in
+  Alcotest.(check string) "indirect call" "42" r.Dpmr_vm.Outcome.output
+
+let test_strings_and_externs () =
+  let p = fresh_prog () in
+  let b = main_builder p in
+  let buf = Builder.malloc b ~count:(Builder.i64c 32) i8 in
+  let buf = Builder.bitcast b (Ptr (arr i8 0)) buf in
+  let hello = Builder.global b ~name:"hello" (arr i8 6) (Prog.Gstring "hello") in
+  let hello = Builder.bitcast b (Ptr (arr i8 0)) hello in
+  ignore (Builder.call b (Inst.Direct "strcpy") [ buf; hello ]);
+  let n = Builder.call1 b (Inst.Direct "strlen") [ buf ] in
+  Builder.call0 b (Inst.Direct "print_str") [ buf ];
+  Builder.call0 b (Inst.Direct "print_int") [ n ];
+  Builder.ret b (Some (Builder.i32c 0));
+  let r = run_prog p in
+  Alcotest.(check string) "strcpy+strlen" "hello5" r.Dpmr_vm.Outcome.output
+
+let test_argv () =
+  let p = fresh_prog () in
+  let b =
+    Builder.create p ~name:"main"
+      ~params:[ ("argc", i32); ("argv", Ptr (Ptr (arr i8 0))) ]
+      ~ret:i32 ()
+  in
+  let argv = Builder.param b 1 in
+  let a1p = Builder.gep_index b argv (Builder.i64c 1) in
+  let a1 = Builder.load b (Ptr (arr i8 0)) a1p in
+  let v = Builder.call1 b (Inst.Direct "atoi") [ a1 ] in
+  Builder.call0 b (Inst.Direct "print_int") [ Builder.int_cast b W64 v ];
+  Builder.ret b (Some (Builder.i32c 0));
+  let r = run_prog ~args:[ "prog"; "1234" ] p in
+  Alcotest.(check string) "atoi(argv[1])" "1234" r.Dpmr_vm.Outcome.output
+
+let test_uninitialized_heap_is_garbage () =
+  let p = fresh_prog () in
+  let b = main_builder p in
+  let q = Builder.malloc b i64 in
+  let v = Builder.load b i64 q in
+  let z = Builder.icmp b Inst.Ieq W64 v (Builder.i64c 0) in
+  Builder.call0 b (Inst.Direct "print_int") [ Builder.int_cast b W64 z ];
+  Builder.ret b (Some (Builder.i32c 0));
+  let r = run_prog p in
+  (* freshly mapped heap pages hold garbage, not zero *)
+  Alcotest.(check string) "not zero" "0" r.Dpmr_vm.Outcome.output
+
+let test_cost_accounting () =
+  let mk loop_n =
+    let p = fresh_prog () in
+    let b = main_builder p in
+    let acc = Builder.local b i64 (Builder.i64c 0) in
+    Builder.for_ b ~from:(Builder.i64c 0) ~below:(Builder.i64c loop_n) (fun i ->
+        let a = Builder.get b i64 acc in
+        Builder.set b i64 acc (Builder.add b W64 a i));
+    Builder.ret b (Some (Builder.i32c 0));
+    (run_prog p).Dpmr_vm.Outcome.cost
+  in
+  let c1 = Int64.to_float (mk 100) and c2 = Int64.to_float (mk 200) in
+  Alcotest.(check bool) "cost roughly doubles with work" true
+    (c2 /. c1 > 1.7 && c2 /. c1 < 2.3)
+
+let test_qsort_extern () =
+  let p = fresh_prog () in
+  let cmpty = fun_ty i32 [ Ptr (arr i8 0); Ptr (arr i8 0) ] in
+  let b = Builder.create p ~name:"cmp" ~params:[ ("a", Ptr (arr i8 0)); ("b", Ptr (arr i8 0)) ] ~ret:i32 () in
+  let pa = Builder.bitcast b (Ptr i64) (Builder.param b 0) in
+  let pb = Builder.bitcast b (Ptr i64) (Builder.param b 1) in
+  let va = Builder.load b i64 pa and vb = Builder.load b i64 pb in
+  let lt = Builder.icmp b Inst.Islt W64 va vb in
+  let gt = Builder.icmp b Inst.Isgt W64 va vb in
+  let diff = Builder.sub b W8 gt lt in
+  Builder.ret b (Some (Builder.int_cast b W32 diff));
+  let b = main_builder p in
+  let a = Builder.malloc b ~count:(Builder.i64c 5) i64 in
+  List.iteri
+    (fun i v ->
+      let slot = Builder.gep_index b a (Builder.i64c i) in
+      Builder.store b i64 (Builder.i64c v) slot)
+    [ 5; 1; 4; 2; 3 ];
+  let a8 = Builder.bitcast b (Ptr (arr i8 0)) a in
+  ignore cmpty;
+  Builder.call0 b (Inst.Direct "qsort")
+    [ a8; Builder.i64c 5; Builder.i64c 8; Inst.Fun_addr "cmp" ];
+  Builder.for_ b ~from:(Builder.i64c 0) ~below:(Builder.i64c 5) (fun i ->
+      let v = Builder.load b i64 (Builder.gep_index b a i) in
+      Builder.call0 b (Inst.Direct "print_int") [ v ]);
+  Builder.ret b (Some (Builder.i32c 0));
+  let r = run_prog p in
+  Alcotest.(check string) "sorted" "12345" r.Dpmr_vm.Outcome.output
+
+let suites =
+  [
+    ( "vm",
+      [
+        Alcotest.test_case "arith loop" `Quick test_arith_loop;
+        Alcotest.test_case "linked list build+sum" `Quick test_linked_list;
+        Alcotest.test_case "segfault -> crash" `Quick test_segfault_classified_as_crash;
+        Alcotest.test_case "exit code classification" `Quick test_exit_code_classification;
+        Alcotest.test_case "timeout" `Quick test_timeout;
+        Alcotest.test_case "function pointers" `Quick test_function_pointers;
+        Alcotest.test_case "strings + externs" `Quick test_strings_and_externs;
+        Alcotest.test_case "argv plumbing" `Quick test_argv;
+        Alcotest.test_case "uninitialized heap garbage" `Quick test_uninitialized_heap_is_garbage;
+        Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
+        Alcotest.test_case "qsort extern" `Quick test_qsort_extern;
+      ] );
+  ]

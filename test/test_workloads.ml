@@ -1,0 +1,166 @@
+(* Workload tests: golden-output regression, transformation preservation
+   for both designs (benchmark + micro workloads), overhead and memory
+   bands, detection-conditions scenarios, and the periodicity measurement. *)
+
+module Config = Dpmr_core.Config
+module Dpmr = Dpmr_core.Dpmr
+module Outcome = Dpmr_vm.Outcome
+module Workloads = Dpmr_workloads.Workloads
+module Micro = Dpmr_workloads.Micro
+
+(* golden outputs pinned: these change only if a workload's semantics (or
+   the deterministic garbage/seed machinery) changes — both are worth a
+   loud test failure *)
+let golden_outputs =
+  [
+    ("art", "0 0 0 23 1 0 0 0 \ntd=261.118\nbu=81.9284\n");
+    ("bzip2", "in=1024\nenc=490\nest=6078\n");
+    ("equake", "energy=19.7927\n");
+    ("mcf", "flow=6\ncost=64\nrelax=-624103884168206764\n");
+  ]
+
+let test_golden_regression () =
+  List.iter
+    (fun (name, expected) ->
+      let p = (Workloads.find name).Workloads.build () in
+      let r = Dpmr.run_plain p in
+      Alcotest.(check string) (name ^ " golden output") expected r.Outcome.output;
+      Alcotest.(check bool) (name ^ " normal") true (r.Outcome.outcome = Outcome.Normal))
+    golden_outputs
+
+let all_builds =
+  List.map (fun (e : Workloads.entry) -> (e.Workloads.name, fun () -> e.Workloads.build ()))
+    Workloads.all
+  @ Micro.all
+
+let test_preservation_matrix () =
+  List.iter
+    (fun (name, build) ->
+      let p = build () in
+      Dpmr_ir.Verifier.check_prog p;
+      let golden = Dpmr.run_plain p in
+      List.iter
+        (fun (mode, diversity) ->
+          let cfg = { Config.default with Config.mode; diversity } in
+          let tp = Dpmr.transform cfg p in
+          Dpmr_ir.Verifier.check_prog tp;
+          let r = Dpmr.run_dpmr cfg p in
+          Alcotest.(check string)
+            (Printf.sprintf "%s %s output" name (Config.name cfg))
+            golden.Outcome.output r.Outcome.output)
+        [
+          (Config.Sds, Config.No_diversity);
+          (Config.Sds, Config.Rearrange_heap);
+          (Config.Mds, Config.No_diversity);
+          (Config.Mds, Config.Pad_malloc 256);
+        ])
+    all_builds
+
+let test_workloads_deterministic () =
+  List.iter
+    (fun (name, build) ->
+      let r1 = Dpmr.run_plain (build ()) in
+      let r2 = Dpmr.run_plain (build ()) in
+      Alcotest.(check string) (name ^ " deterministic") r1.Outcome.output r2.Outcome.output;
+      Alcotest.(check int64) (name ^ " cost deterministic") r1.Outcome.cost r2.Outcome.cost)
+    all_builds
+
+let test_overhead_band () =
+  (* the headline §3.7 claim: DPMR overheads land in a 2x-5x band *)
+  List.iter
+    (fun (e : Workloads.entry) ->
+      let p = e.Workloads.build () in
+      let golden = Dpmr.run_plain p in
+      let r = Dpmr.run_dpmr Config.default p in
+      let oh = Int64.to_float r.Outcome.cost /. Int64.to_float golden.Outcome.cost in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s overhead %.2f in [1.8, 5.5]" e.Workloads.name oh)
+        true
+        (oh >= 1.8 && oh <= 5.5))
+    Workloads.all
+
+let test_memory_band () =
+  (* §4.1: MDS memory overhead 2x; SDS in [2x, 4x) *)
+  List.iter
+    (fun (e : Workloads.entry) ->
+      let p = e.Workloads.build () in
+      let golden = (Dpmr.run_plain p).Outcome.peak_heap_bytes in
+      let sds =
+        (Dpmr.run_dpmr Config.default p).Outcome.peak_heap_bytes
+      in
+      let mds =
+        (Dpmr.run_dpmr { Config.default with Config.mode = Config.Mds } p)
+          .Outcome.peak_heap_bytes
+      in
+      let fs = float_of_int sds /. float_of_int golden in
+      let fm = float_of_int mds /. float_of_int golden in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s MDS %.2f ~ 2x" e.Workloads.name fm)
+        true
+        (fm >= 1.95 && fm <= 2.1);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s SDS %.2f in [2, 4)" e.Workloads.name fs)
+        true
+        (fs >= 1.95 && fs < 4.0))
+    Workloads.all
+
+let test_mds_cheaper_on_pointer_heavy () =
+  (* §4.5: the MDS gain concentrates on equake and mcf *)
+  let gap name =
+    let p = (Workloads.find name).Workloads.build () in
+    let g = Int64.to_float (Dpmr.run_plain p).Outcome.cost in
+    let s = Int64.to_float (Dpmr.run_dpmr Config.default p).Outcome.cost in
+    let m =
+      Int64.to_float
+        (Dpmr.run_dpmr { Config.default with Config.mode = Config.Mds } p).Outcome.cost
+    in
+    (s -. m) /. g
+  in
+  let light = (gap "art" +. gap "bzip2") /. 2.0 in
+  let heavy = (gap "equake" +. gap "mcf") /. 2.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "pointer-heavy gap %.2f > pointer-light gap %.2f" heavy light)
+    true (heavy > light)
+
+let test_scale_parameter () =
+  let p1 = (Workloads.find "equake").Workloads.build ~scale:1 () in
+  let p2 = (Workloads.find "equake").Workloads.build ~scale:2 () in
+  let c1 = (Dpmr.run_plain p1).Outcome.cost and c2 = (Dpmr.run_plain p2).Outcome.cost in
+  Alcotest.(check bool) "scale 2 costs more" true (Int64.compare c2 c1 > 0)
+
+let test_detect_conditions_scenarios () =
+  List.iter
+    (fun (s : Dpmr_harness.Detect_conditions.scenario) ->
+      let _, r, ok = Dpmr_harness.Detect_conditions.run_scenario s in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s -> %s" s.Dpmr_harness.Detect_conditions.sname
+           (Outcome.to_string r.Outcome.outcome))
+        true ok)
+    Dpmr_harness.Detect_conditions.scenarios
+
+let test_periodicity_beats_counter () =
+  let counter, periodic = Dpmr_harness.Periodicity.measure () in
+  Alcotest.(check bool)
+    (Printf.sprintf "periodic %Ld < counter %Ld" periodic counter)
+    true
+    (Int64.compare periodic counter < 0)
+
+let suites =
+  [
+    ( "workloads",
+      [
+        Alcotest.test_case "golden output regression" `Quick test_golden_regression;
+        Alcotest.test_case "preservation matrix (8 workloads x 4 configs)" `Slow
+          test_preservation_matrix;
+        Alcotest.test_case "determinism" `Quick test_workloads_deterministic;
+        Alcotest.test_case "overhead band 2-5x" `Quick test_overhead_band;
+        Alcotest.test_case "memory band (SDS 2-4x, MDS 2x)" `Quick test_memory_band;
+        Alcotest.test_case "MDS gap concentrates on pointer-heavy apps" `Quick
+          test_mds_cheaper_on_pointer_heavy;
+        Alcotest.test_case "scale parameter" `Quick test_scale_parameter;
+        Alcotest.test_case "detection-conditions scenarios" `Quick
+          test_detect_conditions_scenarios;
+        Alcotest.test_case "periodicity optimization wins" `Quick
+          test_periodicity_beats_counter;
+      ] );
+  ]
