@@ -14,7 +14,11 @@
    Usage:
      dune exec bench/main.exe              # both halves
      dune exec bench/main.exe -- figures   # paper tables/figures only
-     dune exec bench/main.exe -- micro     # bechamel microbenches only *)
+     dune exec bench/main.exe -- micro     # bechamel microbenches only
+
+   The figures half goes through the parallel experiment engine
+   (lib/engine): worker domains + the content-addressed result cache,
+   with the engine summary printed to stderr at the end. *)
 
 open Bechamel
 open Toolkit
@@ -24,14 +28,18 @@ module Experiment = Dpmr_fi.Experiment
 module Inject = Dpmr_fi.Inject
 module Workloads = Dpmr_workloads.Workloads
 module Figures = Dpmr_harness.Figures
+module Engine = Dpmr_engine.Engine
+module Job = Dpmr_engine.Job
 
 (* ------------------------------------------------------------------ *)
 (* Half 1: the paper's tables and figures                              *)
 (* ------------------------------------------------------------------ *)
 
 let run_figures () =
-  let ctx = Figures.create () in
-  Figures.run_all ctx
+  let engine = Engine.create () in
+  let ctx = Figures.create ~engine () in
+  Figures.run_all ctx;
+  Engine.print_summary engine
 
 (* ------------------------------------------------------------------ *)
 (* Half 2: bechamel microbenches, one per table/figure                 *)
@@ -92,6 +100,10 @@ let micro_tests =
     t "fig-4.14/golden-mcf" (fun () -> ignore (Dpmr.run_plain mcf));
     t "table-4.5/dsa-scope-equake" (fun () -> ignore (Dpmr_dsa.Scope.compute equake));
     t "table-4.6/dsa-transform-mcf" (fun () -> ignore (Dpmr_dsa.Dsa_dpmr.transform mds mcf));
+    (t "engine/job-hash"
+       (let e = Experiment.make (Experiment.workload "equake" (fun () -> (Workloads.find "equake").Workloads.build ())) in
+        let spec = Job.make e ~workload:"equake" ~scale:1 ~run_seed:42L (Experiment.Nofi_dpmr sds) in
+        fun () -> ignore (Job.hash spec)));
   ]
 
 let run_micro () =

@@ -6,7 +6,9 @@
     - [dpmr inject <workload> --site N] — run one fault-injection experiment;
     - [dpmr dsa <workload>] — Data Structure Analysis exclusion ratios;
     - [dpmr recover <workload>] — inject, detect, recover Rx-style;
-    - [dpmr report <id>|all] — regenerate a paper table/figure;
+    - [dpmr report <id>|all] — regenerate a paper table/figure, in
+      parallel and backed by the result cache ([--jobs]/[--no-cache]);
+    - [dpmr cache stats|clear] — inspect or wipe the result cache;
     - [dpmr list] — list workloads and experiment ids. *)
 
 open Cmdliner
@@ -17,6 +19,9 @@ module Workloads = Dpmr_workloads.Workloads
 module Inject = Dpmr_fi.Inject
 module Experiment = Dpmr_fi.Experiment
 module Figures = Dpmr_harness.Figures
+module Engine = Dpmr_engine.Engine
+module Cache = Dpmr_engine.Cache
+module Job = Dpmr_engine.Job
 
 (* ---- shared options ---- *)
 
@@ -262,21 +267,56 @@ let recover_cmd =
       const go $ workload_t $ scale_t $ seed_t $ mode_t $ diversity_t $ policy_t $ kind_t
       $ site_t)
 
+let jobs_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for experiment runs (0 = one per recommended core).")
+
+let no_cache_t =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the on-disk result cache.")
+
 let report_cmd =
   let id_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID|all") in
   let reps_t =
     Arg.(value & opt int 1 & info [ "reps" ] ~docv:"N"
            ~doc:"Repetitions per injection with distinct seeds (the RN dimension).")
   in
-  let go id scale seed reps =
-    let ctx = Figures.create ~scale ~seed ~reps () in
-    if id = "all" then Figures.run_all ctx
-    else if List.mem id Figures.ids then Figures.run ctx id
-    else die "unknown experiment %S (see 'dpmr list')" id
+  let go id scale seed reps jobs no_cache =
+    let jobs = if jobs <= 0 then Engine.default_jobs () else jobs in
+    let engine = Engine.create ~jobs ~use_cache:(not no_cache) () in
+    let ctx = Figures.create ~scale ~seed ~reps ~engine () in
+    (if id = "all" then Figures.run_all ctx
+     else if List.mem id Figures.ids then Figures.run ctx id
+     else die "unknown experiment %S (see 'dpmr list')" id);
+    Engine.print_summary engine
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate a paper table/figure (or 'all').")
-    Term.(const go $ id_t $ scale_t $ seed_t $ reps_t)
+    Term.(const go $ id_t $ scale_t $ seed_t $ reps_t $ jobs_t $ no_cache_t)
+
+let cache_cmd =
+  let action_t =
+    Arg.(required & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear) ])) None
+         & info [] ~docv:"stats|clear")
+  in
+  let go action =
+    match action with
+    | `Stats ->
+        let s = Cache.disk_stats ~salt:Job.default_salt () in
+        Printf.printf "file    : %s\n" s.Cache.path;
+        Printf.printf "entries : %d (%d current, %d stale-salt)\n" s.Cache.total
+          s.Cache.current s.Cache.stale;
+        Printf.printf "size    : %d bytes\n" s.Cache.bytes;
+        Printf.printf "salt    : %s\n" Job.default_salt
+    | `Clear ->
+        let n = Cache.clear () in
+        Printf.printf "removed %d cached result(s)\n" n
+  in
+  Cmd.v
+    (Cmd.info "cache" ~doc:"Inspect (stats) or wipe (clear) the content-addressed result cache.")
+    Term.(const go $ action_t)
 
 let list_cmd =
   let go () =
@@ -294,4 +334,4 @@ let list_cmd =
 
 let () =
   let info = Cmd.info "dpmr" ~doc:"Diverse Partial Memory Replication reproduction." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; transform_cmd; sites_cmd; inject_cmd; dsa_cmd; recover_cmd; dump_cmd; runfile_cmd; report_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; transform_cmd; sites_cmd; inject_cmd; dsa_cmd; recover_cmd; dump_cmd; runfile_cmd; report_cmd; cache_cmd; list_cmd ]))

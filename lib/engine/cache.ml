@@ -1,0 +1,139 @@
+(** Content-addressed result cache.
+
+    Classifications are persisted as line-delimited JSON in
+    [_dpmr_cache/results.jsonl].  Every line carries the code-version
+    salt it was produced under; on load, lines with a stale salt are
+    evicted (dropped and counted), and the file is compacted when the
+    eviction ratio warrants it.  Corrupt lines are silently skipped —
+    a damaged cache degrades to misses, never to wrong results. *)
+
+module Experiment = Dpmr_fi.Experiment
+
+let default_dir = "_dpmr_cache"
+let file_of dir = Filename.concat dir "results.jsonl"
+
+type stats = { mutable hits : int; mutable misses : int; mutable evicted : int; mutable added : int }
+
+type t = {
+  dir : string;
+  salt : string;
+  tbl : (string, Experiment.classification) Hashtbl.t;
+  stats : stats;
+  mutable chan : out_channel option;
+  mu : Mutex.t;
+}
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file -> close_in ic; List.rev acc
+    in
+    go []
+  end
+
+let load ?(dir = default_dir) ~salt () =
+  let tbl = Hashtbl.create 256 in
+  let stats = { hits = 0; misses = 0; evicted = 0; added = 0 } in
+  let live = ref [] in
+  List.iter
+    (fun line ->
+      match Job.entry_of_line line with
+      | None -> ()
+      | Some e ->
+          if e.Job.salt = salt then begin
+            Hashtbl.replace tbl e.Job.key e.Job.cls;
+            live := line :: !live
+          end
+          else stats.evicted <- stats.evicted + 1)
+    (read_lines (file_of dir));
+  (* compact: rewrite without the evicted (stale-salt) lines *)
+  if stats.evicted > 0 then begin
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let oc = open_out (file_of dir) in
+    List.iter (fun l -> output_string oc l; output_char oc '\n') (List.rev !live);
+    close_out oc
+  end;
+  { dir; salt; tbl; stats; chan = None; mu = Mutex.create () }
+
+let entries t = Hashtbl.length t.tbl
+
+let find t key =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some c ->
+          t.stats.hits <- t.stats.hits + 1;
+          Some c
+      | None ->
+          t.stats.misses <- t.stats.misses + 1;
+          None)
+
+let channel t =
+  match t.chan with
+  | Some oc -> oc
+  | None ->
+      (try Sys.mkdir t.dir 0o755 with Sys_error _ -> ());
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 (file_of t.dir)
+      in
+      t.chan <- Some oc;
+      oc
+
+let add t ~key ~spec_repr cls =
+  Mutex.protect t.mu (fun () ->
+      if not (Hashtbl.mem t.tbl key) then begin
+        Hashtbl.replace t.tbl key cls;
+        t.stats.added <- t.stats.added + 1;
+        let line = Job.entry_to_line { Job.key; salt = t.salt; spec_repr; cls } in
+        let oc = channel t in
+        output_string oc line;
+        output_char oc '\n'
+      end)
+
+let flush t =
+  Mutex.protect t.mu (fun () -> match t.chan with Some oc -> flush oc | None -> ())
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      match t.chan with
+      | Some oc ->
+          close_out oc;
+          t.chan <- None
+      | None -> ())
+
+let stats t = t.stats
+
+(* ---------------- maintenance (CLI [cache] subcommand) ---------------- *)
+
+let clear ?(dir = default_dir) () =
+  let path = file_of dir in
+  let lines = read_lines path in
+  let n = List.fold_left (fun n l -> if Job.entry_of_line l = None then n else n + 1) 0 lines in
+  if Sys.file_exists path then Sys.remove path;
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  n
+
+type disk_stats = {
+  path : string;
+  total : int;  (** well-formed entries on disk *)
+  current : int;  (** entries under the given salt *)
+  stale : int;  (** entries under any other salt *)
+  bytes : int;
+}
+
+let disk_stats ?(dir = default_dir) ~salt () =
+  let path = file_of dir in
+  let lines = read_lines path in
+  let total, current =
+    List.fold_left
+      (fun (t, c) l ->
+        match Job.entry_of_line l with
+        | None -> (t, c)
+        | Some e -> (t + 1, if e.Job.salt = salt then c + 1 else c))
+      (0, 0) lines
+  in
+  let bytes = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0 in
+  { path; total; current; stale = total - current; bytes }

@@ -1,0 +1,50 @@
+(** Content-addressed result cache: classifications persisted as
+    line-delimited JSON under [_dpmr_cache/], keyed by [Job.hash].
+    Stale-salt lines are evicted on load; corrupt lines degrade to
+    misses. *)
+
+module Experiment = Dpmr_fi.Experiment
+
+val default_dir : string
+(** ["_dpmr_cache"]. *)
+
+val file_of : string -> string
+(** The jsonl path inside a cache directory. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evicted : int;  (** stale-salt lines dropped on load *)
+  mutable added : int;
+}
+
+type t
+
+val load : ?dir:string -> salt:string -> unit -> t
+(** Load the cache, evicting (and compacting away) entries recorded
+    under a different code-version salt. *)
+
+val entries : t -> int
+val find : t -> string -> Experiment.classification option
+(** Lookup by content hash; counts a hit or a miss. *)
+
+val add : t -> key:string -> spec_repr:string -> Experiment.classification -> unit
+(** Insert and append to the on-disk file (no-op if the key is already
+    present). *)
+
+val flush : t -> unit
+val close : t -> unit
+val stats : t -> stats
+
+val clear : ?dir:string -> unit -> int
+(** Delete the cache file; returns the number of entries removed. *)
+
+type disk_stats = {
+  path : string;
+  total : int;  (** well-formed entries on disk *)
+  current : int;  (** entries under the given salt *)
+  stale : int;
+  bytes : int;
+}
+
+val disk_stats : ?dir:string -> salt:string -> unit -> disk_stats

@@ -1,0 +1,48 @@
+(** Parallel experiment engine with content-addressed result cache.
+
+    Experiment drivers submit batches of [Job.spec]s; the engine dedups
+    identical specs, serves known ones from the on-disk cache, runs the
+    rest on a fixed pool of OCaml 5 domains, and returns classifications
+    in input order — so output is byte-identical to a serial run
+    regardless of worker count. *)
+
+module Experiment = Dpmr_fi.Experiment
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create :
+  ?jobs:int ->
+  ?use_cache:bool ->
+  ?cache_dir:string ->
+  ?salt:string ->
+  ?progress:bool ->
+  unit ->
+  t
+(** [jobs] defaults to [default_jobs ()]; [use_cache] defaults to [true]
+    (directory [Cache.default_dir]); [salt] defaults to
+    [Job.default_salt]; [progress] prints batch progress to stderr on
+    long grids. *)
+
+val jobs : t -> int
+val telemetry : t -> Telemetry.t
+val cache_stats : t -> Cache.stats option
+
+val run_specs : t -> Job.spec list -> Experiment.classification list
+(** Run a batch; the i-th classification answers the i-th spec. *)
+
+val run_spec : t -> Job.spec -> Experiment.classification
+
+val run_tasks : t -> (unit -> 'a) list -> 'a list
+(** Parallel map over ad-hoc thunks (uncached, telemetry-counted),
+    results in input order.  Thunks must be self-contained: any [Prog.t]
+    they touch must be built inside the thunk (programs carry internal
+    caches and must not cross domains). *)
+
+val summary_lines : t -> string list
+
+val print_summary : t -> unit
+(** Engine summary (jobs run/cached, cache hit rate, busy vs wall time,
+    speedup estimate) on stderr. *)

@@ -1,0 +1,53 @@
+(** Fixed-size domain worker pool with deterministic result ordering.
+
+    Workers pull indices from a mutex-protected queue and write results
+    into per-index slots, so the returned list is ordered by input
+    position regardless of completion order — the property that keeps
+    parallel engine output byte-identical to serial output. *)
+
+let default_size () = Domain.recommended_domain_count ()
+
+let map ?progress ~jobs f xs =
+  let n = List.length xs in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then
+    List.mapi
+      (fun i x ->
+        let r = f x in
+        (match progress with Some p -> p ~done_:(i + 1) ~total:n | None -> ());
+        r)
+      xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let next = ref 0 in
+    let completed = ref 0 in
+    let mu = Mutex.create () in
+    let worker () =
+      let rec loop () =
+        let i =
+          Mutex.protect mu (fun () ->
+              let i = !next in
+              if i < n then incr next;
+              i)
+        in
+        if i < n then begin
+          let r = try Ok (f input.(i)) with e -> Error e in
+          (* distinct slots: no lock needed for the write itself *)
+          results.(i) <- Some r;
+          Mutex.protect mu (fun () ->
+              incr completed;
+              match progress with Some p -> p ~done_:!completed ~total:n | None -> ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error e) -> raise e
+         | None -> failwith "Pool.map: missing result")
+  end

@@ -1,0 +1,20 @@
+(** Fixed-size domain worker pool with deterministic result ordering. *)
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map :
+  ?progress:(done_:int -> total:int -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** [map ~jobs f xs] applies [f] to every element using [jobs] worker
+    domains (clamped to [1 .. length xs]); results are returned in input
+    order regardless of completion order.  [jobs <= 1] degenerates to a
+    plain sequential map with no domain spawned.  [f] must not share
+    mutable state across calls — in particular it must not touch a
+    [Prog.t] built outside itself (programs carry internal caches).  The
+    first exception raised by [f], in input order, is re-raised after all
+    workers finish.  [progress] is called under the pool lock after each
+    completion. *)

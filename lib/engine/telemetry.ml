@@ -1,0 +1,79 @@
+(** Run telemetry: per-job wall time and simulated-cost accounting,
+    aggregated across engine batches. *)
+
+type t = {
+  mutable jobs_run : int;  (** specs actually executed *)
+  mutable jobs_cached : int;  (** specs served from the result cache *)
+  mutable tasks_run : int;  (** uncached ad-hoc tasks ([Engine.run_tasks]) *)
+  mutable cost_units : int64;  (** simulated cost consumed by executed jobs *)
+  mutable busy_seconds : float;  (** sum of per-job wall times *)
+  mutable wall_seconds : float;  (** elapsed time inside engine batches *)
+  mutable batches : int;
+  mu : Mutex.t;
+}
+
+let create () =
+  {
+    jobs_run = 0;
+    jobs_cached = 0;
+    tasks_run = 0;
+    cost_units = 0L;
+    busy_seconds = 0.;
+    wall_seconds = 0.;
+    batches = 0;
+    mu = Mutex.create ();
+  }
+
+let now () = Unix.gettimeofday ()
+
+let record_job t ~wall ~cost =
+  Mutex.protect t.mu (fun () ->
+      t.jobs_run <- t.jobs_run + 1;
+      t.busy_seconds <- t.busy_seconds +. wall;
+      t.cost_units <- Int64.add t.cost_units cost)
+
+let record_task t ~wall =
+  Mutex.protect t.mu (fun () ->
+      t.tasks_run <- t.tasks_run + 1;
+      t.busy_seconds <- t.busy_seconds +. wall)
+
+let record_cached t n = Mutex.protect t.mu (fun () -> t.jobs_cached <- t.jobs_cached + n)
+
+let record_batch t ~wall =
+  Mutex.protect t.mu (fun () ->
+      t.batches <- t.batches + 1;
+      t.wall_seconds <- t.wall_seconds +. wall)
+
+(** Estimated speedup of the engine over running every executed job
+    back-to-back on one domain: busy time over batch wall time.  [None]
+    until enough signal exists to be meaningful. *)
+let speedup_estimate t =
+  if t.wall_seconds > 1e-6 && t.busy_seconds > 0. then Some (t.busy_seconds /. t.wall_seconds)
+  else None
+
+let summary_lines t ~workers ~(cache : Cache.stats option) =
+  let total = t.jobs_run + t.jobs_cached in
+  let first =
+    Printf.sprintf "[engine] %d jobs (%d run, %d cached), %d task(s), workers=%d" total
+      t.jobs_run t.jobs_cached t.tasks_run workers
+  in
+  let cache_line =
+    match cache with
+    | None -> "[engine] cache: disabled"
+    | Some s ->
+        let looked = s.Cache.hits + s.Cache.misses in
+        let pct = if looked = 0 then 0. else 100. *. float_of_int s.Cache.hits /. float_of_int looked in
+        Printf.sprintf "[engine] cache: %d hits / %d lookups (%.1f%%), %d added, %d evicted"
+          s.Cache.hits looked pct s.Cache.added s.Cache.evicted
+  in
+  let time_line =
+    let speed =
+      match speedup_estimate t with
+      | Some s when t.jobs_run + t.tasks_run > 0 ->
+          Printf.sprintf " (%.2fx vs serial estimate)" s
+      | _ -> ""
+    in
+    Printf.sprintf "[engine] time: busy %.2fs, wall %.2fs over %d batch(es)%s; sim cost %Ld units"
+      t.busy_seconds t.wall_seconds t.batches speed t.cost_units
+  in
+  [ first; cache_line; time_line ]

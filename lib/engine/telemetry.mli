@@ -1,0 +1,26 @@
+(** Run telemetry: per-job wall time and simulated-cost accounting,
+    aggregated across engine batches. *)
+
+type t = {
+  mutable jobs_run : int;
+  mutable jobs_cached : int;
+  mutable tasks_run : int;
+  mutable cost_units : int64;
+  mutable busy_seconds : float;  (** sum of per-job wall times *)
+  mutable wall_seconds : float;  (** elapsed time inside engine batches *)
+  mutable batches : int;
+  mu : Mutex.t;
+}
+
+val create : unit -> t
+val now : unit -> float
+val record_job : t -> wall:float -> cost:int64 -> unit
+val record_task : t -> wall:float -> unit
+val record_cached : t -> int -> unit
+val record_batch : t -> wall:float -> unit
+
+val speedup_estimate : t -> float option
+(** Busy time over batch wall time — the engine's advantage over running
+    every executed job back-to-back on one domain. *)
+
+val summary_lines : t -> workers:int -> cache:Cache.stats option -> string list

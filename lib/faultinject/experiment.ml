@@ -100,16 +100,21 @@ let run_variant ?seed t variant =
 (** All injectable sites of the pristine program for a fault type. *)
 let sites t kind = Inject.sites kind t.base
 
+(** Runtime and memory overhead ratios of a classified non-FI run
+    against this experiment's golden run. *)
+let overheads_of_classification t (c : classification) =
+  ( Int64.to_float c.cost /. Int64.to_float t.golden.Outcome.cost,
+    float_of_int c.peak_heap /. float_of_int t.golden.Outcome.peak_heap_bytes )
+
+(** Both overhead ratios of a configuration from a single run. *)
+let overheads t cfg = overheads_of_classification t (run_variant t (Nofi_dpmr cfg))
+
 (** Overhead of a configuration on this workload: mean DPMR cost over mean
     golden cost, non-fault-injection runs (Equation 3.1). *)
-let overhead t cfg =
-  let r = run_variant t (Nofi_dpmr cfg) in
-  Int64.to_float r.cost /. Int64.to_float t.golden.Outcome.cost
+let overhead t cfg = fst (overheads t cfg)
 
 (** Memory overhead (peak heap) of a configuration. *)
-let memory_overhead t cfg =
-  let r = run_variant t (Nofi_dpmr cfg) in
-  float_of_int r.peak_heap /. float_of_int t.golden.Outcome.peak_heap_bytes
+let memory_overhead t cfg = snd (overheads t cfg)
 
 (** [StdNotAllDet] for one fault: under the fi-stdapp variant the fault
     produced incorrect output without natural detection (the deterministic

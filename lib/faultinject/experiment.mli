@@ -48,6 +48,15 @@ val classify : t -> Outcome.run -> classification
 val run_variant : ?seed:int64 -> t -> variant -> classification
 val sites : t -> Inject.kind -> Inject.site list
 
+val overheads_of_classification : t -> classification -> float * float
+(** (runtime, memory) overhead ratios of an already-classified non-FI
+    run against the golden run. *)
+
+val overheads : t -> Config.t -> float * float
+(** Both overhead ratios from a {e single} [Nofi_dpmr] run — use this
+    when both are needed; [overhead] and [memory_overhead] each cost a
+    full run. *)
+
 (** Mean variant cost over golden cost, non-FI runs (Equation 3.1). *)
 val overhead : t -> Config.t -> float
 

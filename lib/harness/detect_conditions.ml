@@ -159,13 +159,19 @@ let run_scenario s =
   let r = Dpmr.run_dpmr s.cfg p in
   (golden, r, s.classify golden r)
 
-let report () =
+let report ?engine () =
   Table_fmt.print_section "Detection conditions (§2.5) ablation";
+  (* the scenarios are independent and build their programs inside the
+     task, so they run on the engine pool when one is supplied *)
+  let results =
+    match engine with
+    | Some e -> Dpmr_engine.Engine.run_tasks e (List.map (fun s () -> run_scenario s) scenarios)
+    | None -> List.map run_scenario scenarios
+  in
   let rows =
     [ "scenario"; "section"; "expectation"; "observed"; "as expected" ]
-    :: List.map
-         (fun s ->
-           let _, r, ok = run_scenario s in
+    :: List.map2
+         (fun s (_, r, ok) ->
            [
              s.sname;
              s.section;
@@ -173,6 +179,6 @@ let report () =
              Outcome.to_string r.Outcome.outcome;
              (if ok then "yes" else "NO");
            ])
-         scenarios
+         scenarios results
   in
   print_string (Table_fmt.render rows)

@@ -20,5 +20,6 @@ val scenarios : scenario list
 (** Returns (golden run, dpmr run, as-expected). *)
 val run_scenario : scenario -> Outcome.run * Outcome.run * bool
 
-(** Print the scenario table. *)
-val report : unit -> unit
+(** Print the scenario table; with [engine], scenarios run on the engine
+    worker pool. *)
+val report : ?engine:Dpmr_engine.Engine.t -> unit -> unit

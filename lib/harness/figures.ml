@@ -11,6 +11,8 @@ module Experiment = Dpmr_fi.Experiment
 module Inject = Dpmr_fi.Inject
 module Metrics = Dpmr_fi.Metrics
 module Workloads = Dpmr_workloads.Workloads
+module Engine = Dpmr_engine.Engine
+module Job = Dpmr_engine.Job
 module T = Table_fmt
 
 type ctx = {
@@ -19,16 +21,27 @@ type ctx = {
   reps : int;
       (** repetitions per (site, variant) with distinct seeds — the run
           number RN of the (W, C, D, I, RN) experiment tuple (§3.6) *)
+  engine : Engine.t;  (** runs every job batch: parallelism + result cache *)
   experiments : (string, Experiment.t) Hashtbl.t;
+      (** main-domain contexts, for site enumeration and golden baselines
+          (worker domains build their own — see [Engine]) *)
   class_cache : (string, Experiment.classification list) Hashtbl.t;
   snad_cache : (string, bool list) Hashtbl.t;  (** StdNotAllDet per site *)
 }
 
-let create ?(scale = 1) ?(seed = 42L) ?(reps = 1) () =
+let create ?(scale = 1) ?(seed = 42L) ?(reps = 1) ?engine () =
+  let engine =
+    (* absent an explicit engine, behave exactly like the historical
+       serial driver: one worker, no persistent cache *)
+    match engine with
+    | Some e -> e
+    | None -> Engine.create ~jobs:1 ~use_cache:false ~progress:false ()
+  in
   {
     scale;
     seed;
     reps = max 1 reps;
+    engine;
     experiments = Hashtbl.create 8;
     class_cache = Hashtbl.create 64;
     snad_cache = Hashtbl.create 16;
@@ -87,33 +100,94 @@ let kind_tag = function
   | Inject.Off_by_one -> "off-by-one"
   | Inject.Wild_store _ -> "wild-store"
 
-(* ---------------- cached data collection ---------------- *)
+(* ---------------- engine-batched data collection ---------------- *)
 
-(** Classifications of all injection sites under a variant. *)
-let classifications ctx app kind variant_key variant =
-  let key = Printf.sprintf "%s/%s/%s" app (kind_tag kind) variant_key in
-  match Hashtbl.find_opt ctx.class_cache key with
-  | Some cs -> cs
-  | None ->
+(** A cell is one (app, kind, variant) series: an in-process memo key
+    plus the job specs that produce it.  Figures collect every cell they
+    need and submit them to the engine as one batch, so the whole grid
+    parallelizes and dedups across the figure, not per series. *)
+type cell = { ckey : string; specs : Job.spec list }
+
+(** Fault-injection cell: all sites × reps under one variant. *)
+let fi_cell ctx app kind variant_key mk_variant =
+  let ckey = Printf.sprintf "%s/%s/%s" app (kind_tag kind) variant_key in
+  let specs =
+    if Hashtbl.mem ctx.class_cache ckey then []
+    else
       let e = experiment ctx app in
-      let cs =
-        List.concat_map
-          (fun site ->
-            List.init ctx.reps (fun rn ->
-                let seed = Int64.add ctx.seed (Int64.of_int rn) in
-                Experiment.run_variant ~seed e (variant site)))
-          (Experiment.sites e kind)
-      in
-      Hashtbl.replace ctx.class_cache key cs;
-      cs
+      List.concat_map
+        (fun site ->
+          List.init ctx.reps (fun rn ->
+              let run_seed = Int64.add ctx.seed (Int64.of_int rn) in
+              Job.make e ~workload:app ~scale:ctx.scale ~run_seed (mk_variant site)))
+        (Experiment.sites e kind)
+  in
+  { ckey; specs }
 
-let stdapp_classes ctx app kind =
-  classifications ctx app kind "stdapp" (fun site ->
-      Experiment.Fi_stdapp (kind, site))
+let stdapp_cell ctx app kind =
+  fi_cell ctx app kind "stdapp" (fun site -> Experiment.Fi_stdapp (kind, site))
 
-let dpmr_classes ctx app kind cfg =
-  classifications ctx app kind (Config.name cfg) (fun site ->
+let dpmr_cell ctx app kind cfg =
+  fi_cell ctx app kind (Config.name cfg) (fun site ->
       Experiment.Fi_dpmr (cfg, kind, site))
+
+(** Non-FI cell: a single DPMR run of a configuration (overhead/memory). *)
+let nofi_cell ctx app cfg =
+  let ckey = Printf.sprintf "nofi/%s/%s" app (Config.name cfg) in
+  let specs =
+    if Hashtbl.mem ctx.class_cache ckey then []
+    else
+      let e = experiment ctx app in
+      [ Job.make e ~workload:app ~scale:ctx.scale ~run_seed:ctx.seed
+          (Experiment.Nofi_dpmr cfg) ]
+  in
+  { ckey; specs }
+
+(** Run every not-yet-memoized cell through the engine as one batch and
+    memoize the per-cell classification lists. *)
+let ensure ctx cells =
+  let pending =
+    List.filter (fun c -> c.specs <> [] && not (Hashtbl.mem ctx.class_cache c.ckey)) cells
+  in
+  (* a cell can appear twice in one figure; keep the first occurrence *)
+  let seen = Hashtbl.create 16 in
+  let pending =
+    List.filter
+      (fun c ->
+        if Hashtbl.mem seen c.ckey then false
+        else begin
+          Hashtbl.replace seen c.ckey ();
+          true
+        end)
+      pending
+  in
+  let results = Engine.run_specs ctx.engine (List.concat_map (fun c -> c.specs) pending) in
+  let rec split cells results =
+    match cells with
+    | [] -> ()
+    | c :: rest ->
+        let k = List.length c.specs in
+        let mine = List.filteri (fun i _ -> i < k) results in
+        let others = List.filteri (fun i _ -> i >= k) results in
+        Hashtbl.replace ctx.class_cache c.ckey mine;
+        split rest others
+  in
+  split pending results
+
+let cell_classes ctx cell =
+  ensure ctx [ cell ];
+  Hashtbl.find ctx.class_cache cell.ckey
+
+let stdapp_classes ctx app kind = cell_classes ctx (stdapp_cell ctx app kind)
+let dpmr_classes ctx app kind cfg = cell_classes ctx (dpmr_cell ctx app kind cfg)
+
+(** (runtime, memory) overhead ratios of a configuration, engine-cached. *)
+let overheads ctx app cfg =
+  let c = List.hd (cell_classes ctx (nofi_cell ctx app cfg)) in
+  Experiment.overheads_of_classification (experiment ctx app) c
+
+let overhead ctx app cfg = fst (overheads ctx app cfg)
+let memory_overhead ctx app cfg = snd (overheads ctx app cfg)
 
 (** StdNotAllDet flags, per site (the conditional-coverage filter). *)
 let snad ctx app kind =
@@ -166,6 +240,11 @@ let cov_header = [ "variant"; "app"; "CO"; "NatDet"; "DpmrDet"; "total"; "n" ]
 (** Per-app coverage figure (3.6/3.7/3.11/3.12 and the 4.x analogues). *)
 let coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
   T.print_section title;
+  ensure ctx
+    (List.map (fun app -> stdapp_cell ctx app kind) apps
+    @ List.concat_map
+        (fun (_, v) -> List.map (fun app -> dpmr_cell ctx app kind (mk_cfg v)) apps)
+        variants);
   let rows = ref [] in
   List.iter
     (fun app ->
@@ -185,6 +264,11 @@ let coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
 (** Aggregated conditional coverage (3.8/3.9/3.13/3.14 and 4.x). *)
 let cond_coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
   T.print_section title;
+  ensure ctx
+    (List.map (fun app -> stdapp_cell ctx app kind) apps
+    @ List.concat_map
+        (fun (_, v) -> List.map (fun app -> dpmr_cell ctx app kind (mk_cfg v)) apps)
+        variants);
   let rows = ref [] in
   let agg classes_of =
     Metrics.of_list
@@ -203,15 +287,16 @@ let cond_coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
 
 let overhead_figure ctx ~title ~variants ~mk_cfg =
   T.print_section title;
+  ensure ctx
+    (List.concat_map
+       (fun (_, v) -> List.map (fun app -> nofi_cell ctx app (mk_cfg v)) apps)
+       variants);
   let header = "variant" :: apps in
   let rows =
     ("golden" :: List.map (fun _ -> "1.00") apps)
     :: List.map
          (fun (vname, v) ->
-           vname
-           :: List.map
-                (fun app -> T.f2 (Experiment.overhead (experiment ctx app) (mk_cfg v)))
-                apps)
+           vname :: List.map (fun app -> T.f2 (overhead ctx app (mk_cfg v))) apps)
          variants
   in
   print_string (T.render (header :: rows))
@@ -219,6 +304,15 @@ let overhead_figure ctx ~title ~variants ~mk_cfg =
 (** Side-by-side SDS/MDS overheads (Figures 4.3/4.4). *)
 let side_by_side_overhead ctx ~title ~variants ~mk_cfg =
   T.print_section title;
+  ensure ctx
+    (List.concat_map
+       (fun (_, v) ->
+         List.concat_map
+           (fun app ->
+             [ nofi_cell ctx app (mk_cfg Config.Sds v);
+               nofi_cell ctx app (mk_cfg Config.Mds v) ])
+           apps)
+       variants);
   let header = "variant" :: List.concat_map (fun a -> [ a ^ "/sds"; a ^ "/mds" ]) apps in
   let rows =
     List.map
@@ -226,10 +320,9 @@ let side_by_side_overhead ctx ~title ~variants ~mk_cfg =
         vname
         :: List.concat_map
              (fun app ->
-               let e = experiment ctx app in
                [
-                 T.f2 (Experiment.overhead e (mk_cfg Config.Sds v));
-                 T.f2 (Experiment.overhead e (mk_cfg Config.Mds v));
+                 T.f2 (overhead ctx app (mk_cfg Config.Sds v));
+                 T.f2 (overhead ctx app (mk_cfg Config.Mds v));
                ])
              apps)
       variants
@@ -240,6 +333,13 @@ let side_by_side_overhead ctx ~title ~variants ~mk_cfg =
 
 let t2d_table ctx ~title ~variants ~mk_cfg =
   T.print_section title;
+  ensure ctx
+    (List.concat_map
+       (fun kind ->
+         List.concat_map
+           (fun (_, v) -> List.map (fun app -> dpmr_cell ctx app kind (mk_cfg v)) apps)
+           variants)
+       [ kind_resize; kind_free ]);
   let header = [ "kind"; "variant" ] @ apps in
   let rows =
     List.concat_map
@@ -506,52 +606,72 @@ let all : (string * string * (ctx -> unit)) list =
           ~mk_cfg:(div_cfg mds) );
     ( "detect-conditions",
       "§2.5 detection-conditions ablation (write/read/free manifestation classes)",
-      fun _ -> Detect_conditions.report () );
+      fun ctx -> Detect_conditions.report ~engine:ctx.engine () );
     ( "rx-recovery",
       "extension: Rx-style recovery from DPMR detections (§1.5 pairing)",
       fun ctx ->
         T.print_section "Rx-style recovery from DPMR-detected resize faults";
         let kind = kind_resize in
         let cfg = div_cfg sds Config.No_diversity in
-        let rows = ref [] in
-        List.iter
-          (fun app ->
-            let e = experiment ctx app in
-            List.iter
-              (fun site ->
-                let injected = Dpmr_fi.Inject.apply e.Experiment.base kind site in
-                let res =
-                  Dpmr_core.Rx.run_with_recovery ~budget:e.Experiment.budget cfg
-                    injected ~escalation:[ 8; 64; 1024 ]
-                in
-                if Dpmr_vm.Outcome.is_dpmr_detect res.Dpmr_core.Rx.first then
-                  rows :=
-                    [
-                      app;
-                      Dpmr_fi.Inject.site_name site;
-                      (match res.Dpmr_core.Rx.recovered_with with
-                      | Some pad -> Printf.sprintf "recovered (pad %d)" pad
-                      | None -> "NOT recovered");
-                      string_of_int res.Dpmr_core.Rx.attempts;
-                    ]
-                    :: !rows)
-              (Experiment.sites e kind))
-          apps;
+        (* enumerate (app, site, budget) on the main domain, then run the
+           recovery attempts through the engine pool; each task rebuilds
+           its program so no Prog.t crosses domains *)
+        let work =
+          List.concat_map
+            (fun app ->
+              let e = experiment ctx app in
+              List.map
+                (fun site -> (app, site, e.Experiment.budget))
+                (Experiment.sites e kind))
+            apps
+        in
+        let scale = ctx.scale in
+        let results =
+          Engine.run_tasks ctx.engine
+            (List.map
+               (fun (app, site, budget) () ->
+                 let p = (Workloads.find app).Workloads.build ~scale () in
+                 let injected = Dpmr_fi.Inject.apply p kind site in
+                 Dpmr_core.Rx.run_with_recovery ~budget cfg injected
+                   ~escalation:[ 8; 64; 1024 ])
+               work)
+        in
+        let rows =
+          List.filter_map
+            (fun ((app, site, _), res) ->
+              if Dpmr_vm.Outcome.is_dpmr_detect res.Dpmr_core.Rx.first then
+                Some
+                  [
+                    app;
+                    Dpmr_fi.Inject.site_name site;
+                    (match res.Dpmr_core.Rx.recovered_with with
+                    | Some pad -> Printf.sprintf "recovered (pad %d)" pad
+                    | None -> "NOT recovered");
+                    string_of_int res.Dpmr_core.Rx.attempts;
+                  ]
+              else None)
+            (List.combine work results)
+        in
         print_string
-          (T.render ([ "app"; "detected fault site"; "outcome"; "re-executions" ] :: List.rev !rows)) );
+          (T.render ([ "app"; "detected fault site"; "outcome"; "re-executions" ] :: rows)) );
     ( "memory",
       "memory overhead of SDS and MDS (the §4.1 2x-4x / 2x claim)",
       fun ctx ->
         T.print_section "Memory overhead (peak heap bytes vs golden)";
+        ensure ctx
+          (List.concat_map
+             (fun app ->
+               [ nofi_cell ctx app (div_cfg sds Config.No_diversity);
+                 nofi_cell ctx app (div_cfg mds Config.No_diversity) ])
+             apps);
         let header = [ "app"; "sds"; "mds" ] in
         let rows =
           List.map
             (fun app ->
-              let e = experiment ctx app in
               [
                 app;
-                T.f2 (Experiment.memory_overhead e (div_cfg sds Config.No_diversity));
-                T.f2 (Experiment.memory_overhead e (div_cfg mds Config.No_diversity));
+                T.f2 (memory_overhead ctx app (div_cfg sds Config.No_diversity));
+                T.f2 (memory_overhead ctx app (div_cfg mds Config.No_diversity));
               ])
             apps
         in

@@ -9,8 +9,12 @@ type ctx
     overlapping figures share work. *)
 
 (** [reps] repeats every fault-injection run with distinct seeds — the
-    run-number dimension RN of the §3.6 experiment tuple. *)
-val create : ?scale:int -> ?seed:int64 -> ?reps:int -> unit -> ctx
+    run-number dimension RN of the §3.6 experiment tuple.  [engine] runs
+    all job batches (parallel workers + persistent result cache); when
+    absent, a serial uncached engine reproduces the historical driver
+    behaviour exactly. *)
+val create :
+  ?scale:int -> ?seed:int64 -> ?reps:int -> ?engine:Dpmr_engine.Engine.t -> unit -> ctx
 
 (** (id, description, driver) for every experiment. *)
 val all : (string * string * (ctx -> unit)) list

@@ -1,0 +1,251 @@
+(* Parallel experiment engine tests (lib/engine): job hashing, the jsonl
+   cache codec, classification edge cases, determinism of the domain
+   pool, and content-addressed cache behaviour (hits, stale-salt
+   eviction, clearing). *)
+
+module Config = Dpmr_core.Config
+module Outcome = Dpmr_vm.Outcome
+module Experiment = Dpmr_fi.Experiment
+module Inject = Dpmr_fi.Inject
+module Job = Dpmr_engine.Job
+module Cache = Dpmr_engine.Cache
+module Pool = Dpmr_engine.Pool
+module Engine = Dpmr_engine.Engine
+module Progs = Dpmr_testprogs.Progs
+module Workloads = Dpmr_workloads.Workloads
+
+(* ---- shared fixtures ---- *)
+
+(* cheap registry workload: every engine job must name a registry entry *)
+let app = "mcf"
+
+let exp_ctx =
+  lazy
+    (let entry = Workloads.find app in
+     Experiment.make
+       (Experiment.workload app (fun () -> entry.Workloads.build ~scale:1 ())))
+
+let specs_fixture () =
+  let e = Lazy.force exp_ctx in
+  let mk = Job.make e ~workload:app ~scale:1 ~run_seed:42L in
+  let fi =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun site -> mk (Experiment.Fi_dpmr (Config.default, kind, site)))
+          (Experiment.sites e kind))
+      [ Inject.Heap_array_resize 50; Inject.Immediate_free ]
+  in
+  mk Experiment.Golden :: mk (Experiment.Nofi_dpmr Config.default) :: fi
+
+let check_cls = Alcotest.testable
+    (fun ppf (c : Experiment.classification) ->
+      Fmt.string ppf
+        (Job.entry_to_line { Job.key = ""; salt = ""; spec_repr = ""; cls = c }))
+    ( = )
+
+(* ---- job model ---- *)
+
+let test_hash_stable_and_salted () =
+  let spec = List.hd (specs_fixture ()) in
+  Alcotest.(check string) "hash is deterministic" (Job.hash spec) (Job.hash spec);
+  Alcotest.(check bool) "different salt, different hash" true
+    (Job.hash spec <> Job.hash ~salt:"other-code-version" spec);
+  let other = { spec with Job.run_seed = 43L } in
+  Alcotest.(check bool) "different spec, different hash" true
+    (Job.hash spec <> Job.hash other)
+
+let test_jsonl_roundtrip () =
+  let cls t2d =
+    {
+      Experiment.sf = true;
+      co = false;
+      ndet = false;
+      ddet = true;
+      timeout = false;
+      t2d;
+      cost = 123456789L;
+      peak_heap = 4096;
+    }
+  in
+  List.iter
+    (fun t2d ->
+      let e =
+        {
+          Job.key = "00ff";
+          salt = Job.default_salt;
+          spec_repr = "w=\"quoted\";\ttab";
+          cls = cls t2d;
+        }
+      in
+      match Job.entry_of_line (Job.entry_to_line e) with
+      | Some e' ->
+          Alcotest.(check string) "key" e.Job.key e'.Job.key;
+          Alcotest.(check string) "salt" e.Job.salt e'.Job.salt;
+          Alcotest.(check string) "spec" e.Job.spec_repr e'.Job.spec_repr;
+          Alcotest.check check_cls "classification" e.Job.cls e'.Job.cls
+      | None -> Alcotest.fail "round-trip parse failed")
+    [ Some 99L; None ];
+  Alcotest.(check bool) "corrupt line rejected" true
+    (Job.entry_of_line "{\"key\":\"x\" garbage" = None)
+
+(* ---- Experiment.classify edge cases ---- *)
+
+let classify_exp =
+  lazy (Experiment.make (Experiment.workload "t" (fun () -> Progs.overflow ~limit:8 ())))
+
+let synthetic ?(outcome = Outcome.Normal) ?output ?(cost = 1000L) ?fi_first_cost () =
+  let e = Lazy.force classify_exp in
+  {
+    Outcome.outcome;
+    cost;
+    output = Option.value output ~default:e.Experiment.golden.Outcome.output;
+    peak_heap_bytes = 100;
+    mapped_pages = 1;
+    fi_first_cost;
+  }
+
+let test_classify_timeout () =
+  let e = Lazy.force classify_exp in
+  let c =
+    Experiment.classify e
+      (synthetic ~outcome:Outcome.Timeout ~output:"partial" ~fi_first_cost:10L ())
+  in
+  Alcotest.(check bool) "timeout flagged" true c.Experiment.timeout;
+  Alcotest.(check bool) "not CO" false c.Experiment.co;
+  Alcotest.(check bool) "no natural detection" false c.Experiment.ndet;
+  Alcotest.(check bool) "no DPMR detection" false c.Experiment.ddet;
+  Alcotest.(check bool) "SF recorded" true c.Experiment.sf
+
+let test_classify_ddet_without_fi () =
+  (* a DPMR check fired before (or without) any injected code running:
+     detection stands, but T2D is undefined *)
+  let e = Lazy.force classify_exp in
+  let c =
+    Experiment.classify e (synthetic ~outcome:(Outcome.Dpmr_detect "check 0") ~output:"" ())
+  in
+  Alcotest.(check bool) "ddet" true c.Experiment.ddet;
+  Alcotest.(check bool) "not sf" false c.Experiment.sf;
+  Alcotest.(check bool) "t2d undefined" true (c.Experiment.t2d = None)
+
+let test_classify_app_exit_correct_output () =
+  (* nonzero exit with byte-identical output: not CO (exit status is part
+     of correctness), counted as natural detection *)
+  let e = Lazy.force classify_exp in
+  let c = Experiment.classify e (synthetic ~outcome:(Outcome.App_exit 3) ()) in
+  Alcotest.(check bool) "not CO" false c.Experiment.co;
+  Alcotest.(check bool) "natural detection" true c.Experiment.ndet;
+  Alcotest.(check bool) "no DPMR detection" false c.Experiment.ddet
+
+let test_classify_normal_correct () =
+  let e = Lazy.force classify_exp in
+  let c = Experiment.classify e (synthetic ~fi_first_cost:5L ()) in
+  Alcotest.(check bool) "CO" true c.Experiment.co;
+  Alcotest.(check bool) "no detections" true
+    ((not c.Experiment.ndet) && not c.Experiment.ddet)
+
+(* ---- pool ---- *)
+
+let test_pool_order_and_exception () =
+  let xs = List.init 64 Fun.id in
+  Alcotest.(check (list int)) "results in input order"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.check_raises "exception re-raised" Exit (fun () ->
+      ignore (Pool.map ~jobs:3 (fun x -> if x = 5 then raise Exit else x) xs))
+
+(* ---- determinism guard: serial vs multi-domain ---- *)
+
+let lines_of cs =
+  List.map (fun c -> Job.entry_to_line { Job.key = ""; salt = ""; spec_repr = ""; cls = c }) cs
+
+let test_parallel_determinism () =
+  let specs = specs_fixture () in
+  let serial = Engine.create ~jobs:1 ~use_cache:false ~progress:false () in
+  let parallel = Engine.create ~jobs:4 ~use_cache:false ~progress:false () in
+  let a = Engine.run_specs serial specs in
+  let b = Engine.run_specs parallel specs in
+  Alcotest.(check (list string)) "serial and 4-domain runs byte-identical"
+    (lines_of a) (lines_of b)
+
+(* ---- content-addressed cache ---- *)
+
+let test_dir = "_engine_test_cache"
+
+let with_clean_dir f =
+  ignore (Cache.clear ~dir:test_dir ());
+  Fun.protect ~finally:(fun () -> ignore (Cache.clear ~dir:test_dir ())) f
+
+let test_cache_hits_second_run () =
+  with_clean_dir (fun () ->
+      let specs = specs_fixture () in
+      let e1 = Engine.create ~jobs:1 ~cache_dir:test_dir ~progress:false () in
+      let a = Engine.run_specs e1 specs in
+      let s1 = Option.get (Engine.cache_stats e1) in
+      Alcotest.(check int) "first run: all misses" (List.length specs) s1.Cache.misses;
+      Alcotest.(check int) "first run: all persisted" (List.length specs) s1.Cache.added;
+      let e2 = Engine.create ~jobs:1 ~cache_dir:test_dir ~progress:false () in
+      let b = Engine.run_specs e2 specs in
+      let s2 = Option.get (Engine.cache_stats e2) in
+      Alcotest.(check int) "second run: all hits" (List.length specs) s2.Cache.hits;
+      Alcotest.(check int) "second run: no misses" 0 s2.Cache.misses;
+      Alcotest.(check (list string)) "cached results identical" (lines_of a) (lines_of b))
+
+let test_cache_stale_salt_misses () =
+  with_clean_dir (fun () ->
+      let specs = specs_fixture () in
+      let e1 = Engine.create ~jobs:1 ~cache_dir:test_dir ~salt:"code-v1" ~progress:false () in
+      ignore (Engine.run_specs e1 specs);
+      (* same specs under a bumped code-version salt: nothing may be
+         served, and loading evicts every stale line *)
+      let e2 = Engine.create ~jobs:1 ~cache_dir:test_dir ~salt:"code-v2" ~progress:false () in
+      ignore (Engine.run_specs e2 specs);
+      let s2 = Option.get (Engine.cache_stats e2) in
+      Alcotest.(check int) "stale salt: zero hits" 0 s2.Cache.hits;
+      Alcotest.(check int) "stale lines evicted on load" (List.length specs) s2.Cache.evicted;
+      (* and the rewritten file now only holds code-v2 entries *)
+      let d = Cache.disk_stats ~dir:test_dir ~salt:"code-v2" () in
+      Alcotest.(check int) "compacted to current salt" d.Cache.total d.Cache.current)
+
+let test_cache_clear () =
+  with_clean_dir (fun () ->
+      let specs = specs_fixture () in
+      let e1 = Engine.create ~jobs:1 ~cache_dir:test_dir ~progress:false () in
+      ignore (Engine.run_specs e1 specs);
+      Alcotest.(check int) "clear reports entry count" (List.length specs)
+        (Cache.clear ~dir:test_dir ());
+      let d = Cache.disk_stats ~dir:test_dir ~salt:Job.default_salt () in
+      Alcotest.(check int) "empty after clear" 0 d.Cache.total)
+
+let test_batch_dedup () =
+  (* identical specs inside one batch execute once even without a cache *)
+  let spec = List.hd (specs_fixture ()) in
+  let engine = Engine.create ~jobs:1 ~use_cache:false ~progress:false () in
+  let rs = Engine.run_specs engine [ spec; spec; spec ] in
+  Alcotest.(check int) "three answers" 3 (List.length rs);
+  Alcotest.(check int) "one execution" 1 (Engine.telemetry engine).Dpmr_engine.Telemetry.jobs_run
+
+let suites =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "job hash stable and salt-sensitive" `Quick
+          test_hash_stable_and_salted;
+        Alcotest.test_case "cache line jsonl round-trip" `Quick test_jsonl_roundtrip;
+        Alcotest.test_case "classify: timeout" `Quick test_classify_timeout;
+        Alcotest.test_case "classify: DPMR detect without SF" `Quick
+          test_classify_ddet_without_fi;
+        Alcotest.test_case "classify: app-exit with correct output" `Quick
+          test_classify_app_exit_correct_output;
+        Alcotest.test_case "classify: normal correct run" `Quick test_classify_normal_correct;
+        Alcotest.test_case "pool: ordering and exceptions" `Quick
+          test_pool_order_and_exception;
+        Alcotest.test_case "determinism: serial vs 4 domains" `Quick
+          test_parallel_determinism;
+        Alcotest.test_case "cache: second run all hits" `Quick test_cache_hits_second_run;
+        Alcotest.test_case "cache: stale code-version salt misses" `Quick
+          test_cache_stale_salt_misses;
+        Alcotest.test_case "cache: clear" `Quick test_cache_clear;
+        Alcotest.test_case "batch dedup of identical specs" `Quick test_batch_dedup;
+      ] );
+  ]
