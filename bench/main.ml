@@ -100,6 +100,16 @@ let micro_tests =
     t "fig-4.14/golden-mcf" (fun () -> ignore (Dpmr.run_plain mcf));
     t "table-4.5/dsa-scope-equake" (fun () -> ignore (Dpmr_dsa.Scope.compute equake));
     t "table-4.6/dsa-transform-mcf" (fun () -> ignore (Dpmr_dsa.Dsa_dpmr.transform mds mcf));
+    (* the lowered threaded-code engine vs the reference tree-walker,
+       plus the one-time lowering cost itself (amortized across runs) *)
+    t "vm/lower-mcf" (fun () -> ignore (Dpmr_vm.Lower.lower_prog mcf));
+    (t "vm/run-lowered-mcf"
+       (let lowered = Dpmr_vm.Lower.lower_prog mcf in
+        fun () -> ignore (Dpmr.run_plain ~lowered mcf)));
+    (t "vm/run-reference-mcf"
+       (fun () ->
+         let vm = Dpmr.vm_plain mcf in
+         ignore (Dpmr_vm.Vm.run_reference vm)));
     (t "engine/job-hash"
        (let e = Experiment.make (Experiment.workload "equake" (fun () -> (Workloads.find "equake").Workloads.build ())) in
         let spec = Job.make e ~workload:"equake" ~scale:1 ~run_seed:42L (Experiment.Nofi_dpmr sds) in

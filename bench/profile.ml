@@ -1,0 +1,64 @@
+(* Quick wall-clock breakdown of one fault-injection job: where does the
+   ~10ms/job of `report all` go?  Not a bechamel bench — prints a plain
+   table for eyeballing while optimising.
+
+     dune exec bench/profile.exe *)
+
+module Config = Dpmr_core.Config
+module Dpmr = Dpmr_core.Dpmr
+module Experiment = Dpmr_fi.Experiment
+module Inject = Dpmr_fi.Inject
+module Workloads = Dpmr_workloads.Workloads
+module Lower = Dpmr_vm.Lower
+module Vm = Dpmr_vm.Vm
+
+let time label n f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-28s %8.3f ms/iter  (%d iters)\n%!" label
+    (1000.0 *. dt /. float_of_int n)
+    n
+
+let () =
+  List.iter
+    (fun wname ->
+      let entry = Workloads.find wname in
+      let base = entry.Workloads.build ~scale:1 () in
+      Printf.printf "== %s (scale 1) ==\n%!" wname;
+      let cfg = Config.default in
+      let tp = Dpmr.transform cfg base in
+      let lowered = Lower.lower_prog tp in
+      let base_lowered = Lower.lower_prog base in
+      time "clone+inject" 50 (fun () ->
+          match Inject.sites Inject.Immediate_free base with
+          | s :: _ -> Inject.apply base Inject.Immediate_free s
+          | [] -> base);
+      time "transform (sds)" 50 (fun () -> Dpmr.transform cfg base);
+      time "lower (transformed)" 50 (fun () -> Lower.lower_prog tp);
+      time "vm create (lowered reuse)" 50 (fun () ->
+          Vm.create ~lowered base_lowered.Lower.src);
+      time "run golden" 20 (fun () -> Dpmr.run_plain ~lowered:base_lowered base);
+      time "run dpmr (lowered reuse)" 20 (fun () ->
+          Dpmr.run_transformed ~lowered ~mode:cfg.Config.mode tp);
+      time "run dpmr (cold build)" 20 (fun () -> Dpmr.run_dpmr cfg base))
+    [ "mcf"; "bzip2"; "equake"; "art" ]
+
+let () =
+  (* allocation volume of one dpmr run *)
+  let entry = Workloads.find "mcf" in
+  let base = entry.Workloads.build ~scale:1 () in
+  let cfg = Config.default in
+  let tp = Dpmr.transform cfg base in
+  let lowered = Lower.lower_prog tp in
+  let a0 = Gc.allocated_bytes () in
+  let s0 = Gc.quick_stat () in
+  let r = Dpmr.run_transformed ~lowered ~mode:cfg.Config.mode tp in
+  let a1 = Gc.allocated_bytes () in
+  let s1 = Gc.quick_stat () in
+  Printf.printf "mcf dpmr run: cost=%Ld alloc=%.1f MB minor_cols=%d\n%!"
+    r.Dpmr_vm.Outcome.cost
+    ((a1 -. a0) /. 1048576.0)
+    (s1.Gc.minor_collections - s0.Gc.minor_collections)

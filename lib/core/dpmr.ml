@@ -11,25 +11,32 @@ exception Unsupported = Transform.Unsupported
     not modified. *)
 let transform = Transform.transform
 
-(** Create a VM for an *untransformed* program (golden / fi-stdapp). *)
-let vm_plain ?seed ?budget prog =
-  let vm = Vm.create ?seed ?budget prog in
+(** Create a VM for an *untransformed* program (golden / fi-stdapp).
+    [lowered] lets callers that run the same program repeatedly lower it
+    once (see {!Vm.create}). *)
+let vm_plain ?seed ?budget ?lowered prog =
+  let vm = Vm.create ?seed ?budget ?lowered prog in
   Extern.register_base vm;
   vm
 
 (** Create a VM for a *transformed* program: base externs plus the
     external function wrappers for the given design. *)
-let vm_dpmr ?seed ?budget ~mode prog =
-  let vm = Vm.create ?seed ?budget prog in
+let vm_dpmr ?seed ?budget ?lowered ~mode prog =
+  let vm = Vm.create ?seed ?budget ?lowered prog in
   Extern.register_base vm;
   Ext_wrappers.register ~mode vm;
   vm
 
 (** Convenience: run [prog] untransformed. *)
-let run_plain ?seed ?budget ?args prog =
-  Vm.run ?args (vm_plain ?seed ?budget prog)
+let run_plain ?seed ?budget ?args ?lowered prog =
+  Vm.run ?args (vm_plain ?seed ?budget ?lowered prog)
+
+(** Run an {e already-transformed} program with the design's wrappers —
+    the repeat-run path: callers transform (and lower) once, then run per
+    seed. *)
+let run_transformed ?seed ?budget ?args ?lowered ~mode tp =
+  Vm.run ?args (vm_dpmr ?seed ?budget ?lowered ~mode tp)
 
 (** Convenience: transform [prog] under [cfg] and run it. *)
 let run_dpmr ?seed ?budget ?args (cfg : Config.t) prog =
-  let tp = transform cfg prog in
-  Vm.run ?args (vm_dpmr ?seed ?budget ~mode:cfg.Config.mode tp)
+  run_transformed ?seed ?budget ?args ~mode:cfg.Config.mode (transform cfg prog)

@@ -13,16 +13,42 @@ exception Unsupported of string
 val transform :
   ?excluded:(string -> Inst.reg -> bool) -> Config.t -> Prog.t -> Prog.t
 
-(** VM for an untransformed program (golden / fi-stdapp builds). *)
-val vm_plain : ?seed:int64 -> ?budget:int64 -> Prog.t -> Vm.t
+(** VM for an untransformed program (golden / fi-stdapp builds).
+    [lowered] lets callers that run the same program repeatedly lower it
+    once (see {!Vm.create}). *)
+val vm_plain :
+  ?seed:int64 -> ?budget:int64 -> ?lowered:Dpmr_vm.Lower.prog -> Prog.t -> Vm.t
 
 (** VM for a transformed program: base externs plus the design's external
     function wrappers. *)
-val vm_dpmr : ?seed:int64 -> ?budget:int64 -> mode:Config.mode -> Prog.t -> Vm.t
+val vm_dpmr :
+  ?seed:int64 ->
+  ?budget:int64 ->
+  ?lowered:Dpmr_vm.Lower.prog ->
+  mode:Config.mode ->
+  Prog.t ->
+  Vm.t
 
 (** Run a program untransformed. *)
 val run_plain :
-  ?seed:int64 -> ?budget:int64 -> ?args:string list -> Prog.t -> Outcome.run
+  ?seed:int64 ->
+  ?budget:int64 ->
+  ?args:string list ->
+  ?lowered:Dpmr_vm.Lower.prog ->
+  Prog.t ->
+  Outcome.run
+
+(** Run an {e already-transformed} program with the design's wrappers —
+    the repeat-run path: callers transform (and lower) once, then run per
+    seed. *)
+val run_transformed :
+  ?seed:int64 ->
+  ?budget:int64 ->
+  ?args:string list ->
+  ?lowered:Dpmr_vm.Lower.prog ->
+  mode:Config.mode ->
+  Prog.t ->
+  Outcome.run
 
 (** Transform under a configuration, then run. *)
 val run_dpmr :

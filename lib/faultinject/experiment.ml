@@ -35,6 +35,17 @@ type classification = {
   peak_heap : int;
 }
 
+(** A variant's program, built and lowered once per {!prepare} call: the
+    injection and DPMR transformation passes — and the VM's lowering —
+    depend only on the variant, not on the run seed, so callers that
+    rerun a variant (reps, seed sweeps) reuse the result.  Execution
+    never mutates the program, so sharing across runs is safe. *)
+type prepared = {
+  pprog : Prog.t;
+  plowered : Dpmr_vm.Lower.prog;
+  pmode : Config.mode option;  (** [Some] iff the DPMR wrappers apply *)
+}
+
 type t = {
   wk : workload;
   base : Prog.t;  (** pristine program *)
@@ -80,20 +91,41 @@ let classify t (r : Outcome.run) =
     peak_heap = r.Outcome.peak_heap_bytes;
   }
 
+(* Deliberately not memoized per variant: the engine schedules repeat
+   runs of one variant consecutively inside a batch, so callers that
+   need reuse hold on to the result themselves, and retaining every
+   variant's build for the experiment's lifetime measurably slows full
+   sweeps down (major-heap growth across thousands of variants). *)
+let prepare t variant =
+  let plain prog =
+    { pprog = prog; plowered = Dpmr_vm.Lower.lower_prog prog; pmode = None }
+  in
+  let dpmr (cfg : Config.t) prog =
+    let tp = Dpmr.transform cfg prog in
+    {
+      pprog = tp;
+      plowered = Dpmr_vm.Lower.lower_prog tp;
+      pmode = Some cfg.Config.mode;
+    }
+  in
+  match variant with
+  | Golden -> plain t.base
+  | Fi_stdapp (kind, site) -> plain (Inject.apply t.base kind site)
+  | Nofi_dpmr cfg -> dpmr cfg t.base
+  | Fi_dpmr (cfg, kind, site) -> dpmr cfg (Inject.apply t.base kind site)
+
 (** Run one variant to completion. *)
 let run_variant ?seed t variant =
   let seed = Option.value seed ~default:t.seed in
+  let p = prepare t variant in
   let r =
-    match variant with
-    | Golden -> Dpmr.run_plain ~seed ~budget:t.budget ~args:t.wk.args t.base
-    | Fi_stdapp (kind, site) ->
-        let injected = Inject.apply t.base kind site in
-        Dpmr.run_plain ~seed ~budget:t.budget ~args:t.wk.args injected
-    | Nofi_dpmr cfg ->
-        Dpmr.run_dpmr ~seed ~budget:t.budget ~args:t.wk.args cfg t.base
-    | Fi_dpmr (cfg, kind, site) ->
-        let injected = Inject.apply t.base kind site in
-        Dpmr.run_dpmr ~seed ~budget:t.budget ~args:t.wk.args cfg injected
+    match p.pmode with
+    | None ->
+        Dpmr.run_plain ~seed ~budget:t.budget ~args:t.wk.args
+          ~lowered:p.plowered p.pprog
+    | Some mode ->
+        Dpmr.run_transformed ~seed ~budget:t.budget ~args:t.wk.args
+          ~lowered:p.plowered ~mode p.pprog
   in
   classify t r
 

@@ -32,6 +32,15 @@ type classification = {
   peak_heap : int;
 }
 
+(** A variant's program, built and lowered once per {!prepare} call;
+    callers that rerun a variant (reps, run-seed sweeps) reuse the
+    result rather than rebuilding. *)
+type prepared = {
+  pprog : Prog.t;
+  plowered : Dpmr_vm.Lower.prog;
+  pmode : Config.mode option;  (** [Some] iff the DPMR wrappers apply *)
+}
+
 type t = {
   wk : workload;
   base : Prog.t;

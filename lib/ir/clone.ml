@@ -15,6 +15,7 @@ let func (f : Func.t) : Func.t =
     reg_tys = Hashtbl.copy f.Func.reg_tys;
     reg_names = Hashtbl.copy f.Func.reg_names;
     label_cache = None;
+    index_cache = None;
   }
 
 let prog (p : Prog.t) : Prog.t =

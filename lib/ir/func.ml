@@ -23,6 +23,11 @@ type t = {
   mutable label_cache : (string, block) Hashtbl.t option;
       (** lazily built label -> block map (branch dispatch is hot);
           invalidated by {!add_block} *)
+  mutable index_cache : (block array * (string, int) Hashtbl.t) option;
+      (** lazily built positional view: blocks as an array (entry first)
+          plus label -> index; invalidated by {!add_block}.  The VM's
+          lowering pass resolves every branch target to an index through
+          this, so branch dispatch needs no hashing at run time. *)
 }
 
 let create ~name ~params ~ret ?(vararg = false) () =
@@ -38,6 +43,7 @@ let create ~name ~params ~ret ?(vararg = false) () =
       next_reg = 0;
       next_label = 0;
       label_cache = None;
+      index_cache = None;
     }
   in
   let ps =
@@ -77,6 +83,7 @@ let add_block f label =
   let b = { label; insts = []; term = Inst.Unreachable } in
   f.blocks <- f.blocks @ [ b ];
   f.label_cache <- None;
+  f.index_cache <- None;
   b
 
 let fresh_label f base =
@@ -97,6 +104,27 @@ let find_block f label =
   | Some b -> b
   | None ->
       invalid_arg (Printf.sprintf "Func.find_block: %s has no block %S" f.name label)
+
+let indexed f =
+  match f.index_cache with
+  | Some v -> v
+  | None ->
+      let arr = Array.of_list f.blocks in
+      let idx = Hashtbl.create (2 * Array.length arr) in
+      Array.iteri (fun i b -> Hashtbl.replace idx b.label i) arr;
+      let v = (arr, idx) in
+      f.index_cache <- Some v;
+      v
+
+(** Blocks as an array, entry block at index 0. *)
+let block_array f = fst (indexed f)
+
+(** Positional index of block [label] (the id lowered branches jump to). *)
+let block_index f label =
+  match Hashtbl.find_opt (snd (indexed f)) label with
+  | Some i -> i
+  | None ->
+      invalid_arg (Printf.sprintf "Func.block_index: %s has no block %S" f.name label)
 
 let entry f =
   match f.blocks with

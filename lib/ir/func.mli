@@ -25,6 +25,9 @@ type t = {
   mutable next_label : int;  (** function-wide fresh-label counter *)
   mutable label_cache : (string, block) Hashtbl.t option;
       (** lazily built label map; invalidated by {!add_block} *)
+  mutable index_cache : (block array * (string, int) Hashtbl.t) option;
+      (** lazily built positional view (entry first) used by the VM's
+          lowering pass; invalidated by {!add_block} *)
 }
 
 val create :
@@ -40,6 +43,15 @@ val add_block : t -> string -> block
 
 val fresh_label : t -> string -> string
 val find_block : t -> string -> block
+
+(** Blocks as an array, entry block at index 0 (cached; invalidated by
+    {!add_block}). *)
+val block_array : t -> block array
+
+(** Positional index of a block — the id lowered branches jump to; raises
+    [Invalid_argument] on unknown labels. *)
+val block_index : t -> string -> int
+
 val entry : t -> block
 val fun_ty : t -> fun_ty
 val iter_insts : t -> (block -> Inst.inst -> unit) -> unit

@@ -10,32 +10,37 @@ open Types
 let ptr_size = 8
 let ptr_align = 8
 
+let round_up x a = (x + a - 1) / a * a
+
+(* Named-aggregate layouts are memoized in the type environment: one
+   {!Tenv.layout_info} per name, computed on first query, reset by Tenv on
+   any (re)definition.  The VM's lowering pass queries layouts once per
+   static site, but transforms and the verifier also hammer these, so the
+   memo pays for itself even outside execution. *)
+
 let rec align_of tenv t =
   match t with
   | Int w -> bytes_of_width w
   | Float -> 8
   | Ptr _ -> ptr_align
   | Arr (e, _) -> align_of tenv e
-  | Struct n | Union n ->
-      List.fold_left
-        (fun a f -> max a (align_of tenv f))
-        1 (Tenv.fields tenv n)
+  | Struct n | Union n -> (info tenv n).Tenv.l_align
   | Void -> invalid_arg "Layout.align_of: void"
   | Fun _ -> invalid_arg "Layout.align_of: function type"
 
-let round_up x a = (x + a - 1) / a * a
-
-let rec size_of tenv t =
+and size_of tenv t =
   match t with
   | Int w -> bytes_of_width w
   | Float -> 8
   | Ptr _ -> ptr_size
   | Arr (e, n) -> n * size_of tenv e
-  | Struct n ->
+  | Struct n -> (info tenv n).Tenv.l_size
+  | Union n ->
+      (* a [Union] type whose body was registered as a struct still sizes
+         as a union (largest member), matching the pre-memo behaviour *)
       let body = Tenv.body tenv n in
-      if body.is_union then union_size tenv body.fields
-      else struct_size tenv body.fields
-  | Union n -> union_size tenv (Tenv.fields tenv n)
+      if body.is_union then (info tenv n).Tenv.l_size
+      else union_size tenv body.fields
   | Void -> invalid_arg "Layout.size_of: void"
   | Fun _ -> invalid_arg "Layout.size_of: function type"
 
@@ -54,19 +59,46 @@ and union_size tenv fields =
   let algn = List.fold_left (fun a f -> max a (align_of tenv f)) 1 fields in
   if sz = 0 then 0 else round_up sz algn
 
+and info tenv name =
+  let memo = Tenv.layout_memo tenv in
+  match Hashtbl.find_opt memo name with
+  | Some i -> i
+  | None ->
+      let body = Tenv.body tenv name in
+      let i =
+        if body.is_union then
+          { Tenv.l_size = union_size tenv body.fields;
+            l_align =
+              List.fold_left (fun a f -> max a (align_of tenv f)) 1 body.fields;
+            l_offsets = Array.make (List.length body.fields) 0 }
+        else begin
+          let n = List.length body.fields in
+          let offs = Array.make n 0 in
+          let off = ref 0 and algn = ref 1 in
+          List.iteri
+            (fun j f ->
+              let fa = align_of tenv f in
+              let o = round_up !off fa in
+              offs.(j) <- o;
+              off := o + size_of tenv f;
+              algn := max !algn fa)
+            body.fields;
+          { Tenv.l_size = (if !off = 0 then 0 else round_up !off !algn);
+            l_align = !algn;
+            l_offsets = offs }
+        end
+      in
+      Hashtbl.replace memo name i;
+      i
+
 (** Byte offset of field [i] in struct [name] (not meaningful for unions,
     whose fields all live at offset 0). *)
 let field_offset tenv name i =
-  let body = Tenv.body tenv name in
-  if body.is_union then 0
-  else
-    let rec go off j = function
-      | [] -> invalid_arg "Layout.field_offset: index out of range"
-      | f :: rest ->
-          let off = round_up off (align_of tenv f) in
-          if j = i then off else go (off + size_of tenv f) (j + 1) rest
-    in
-    go 0 0 body.fields
+  let inf = info tenv name in
+  if (Tenv.body tenv name).is_union then 0
+  else if i < 0 || i >= Array.length inf.Tenv.l_offsets then
+    invalid_arg "Layout.field_offset: index out of range"
+  else inf.Tenv.l_offsets.(i)
 
 (** Offsets of every field of struct [name], in order. *)
 let field_offsets tenv name =

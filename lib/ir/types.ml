@@ -51,24 +51,38 @@ type agg_body = { fields : ty list; is_union : bool }
     lets us build recursive types, and what the shadow-type computation
     uses for placeholder resolution (§2.2). *)
 module Tenv = struct
+  type layout_info = { l_size : int; l_align : int; l_offsets : int array }
+
   type t = {
     bodies : (string, agg_body) Hashtbl.t;
     mutable fresh : int;  (** counter for generated type names *)
+    layout_memo : (string, layout_info) Hashtbl.t;
+        (** per-name layout results, maintained by {!Layout}; a body
+            (re)definition can change the layout of any aggregate that
+            embeds it, so definitions reset the whole memo *)
   }
 
-  let create () = { bodies = Hashtbl.create 64; fresh = 0 }
+  let create () =
+    { bodies = Hashtbl.create 64; fresh = 0; layout_memo = Hashtbl.create 64 }
 
-  let copy t = { bodies = Hashtbl.copy t.bodies; fresh = t.fresh }
+  let copy t =
+    { bodies = Hashtbl.copy t.bodies; fresh = t.fresh; layout_memo = Hashtbl.create 64 }
+
+  let layout_memo t = t.layout_memo
 
   let declare_struct t name =
-    if not (Hashtbl.mem t.bodies name) then
-      Hashtbl.replace t.bodies name { fields = []; is_union = false }
+    if not (Hashtbl.mem t.bodies name) then begin
+      Hashtbl.replace t.bodies name { fields = []; is_union = false };
+      Hashtbl.reset t.layout_memo
+    end
 
   let define_struct t name fields =
-    Hashtbl.replace t.bodies name { fields; is_union = false }
+    Hashtbl.replace t.bodies name { fields; is_union = false };
+    Hashtbl.reset t.layout_memo
 
   let define_union t name fields =
-    Hashtbl.replace t.bodies name { fields; is_union = true }
+    Hashtbl.replace t.bodies name { fields; is_union = true };
+    Hashtbl.reset t.layout_memo
 
   let is_defined t name = Hashtbl.mem t.bodies name
 

@@ -59,8 +59,17 @@ type agg_body = { fields : ty list; is_union : bool }
 module Tenv : sig
   type t
 
+  (** Memoized layout of one named aggregate: size, alignment, and field
+      offsets in declaration order (see {!Layout}). *)
+  type layout_info = { l_size : int; l_align : int; l_offsets : int array }
+
   val create : unit -> t
   val copy : t -> t
+
+  (** Layout memo, owned by {!Layout}: computed sizes/alignments/offsets
+      per aggregate name.  Reset whenever a body is (re)defined, since a
+      definition can change the layout of every aggregate embedding it. *)
+  val layout_memo : t -> (string, layout_info) Hashtbl.t
 
   (** Declare a struct name without a body (opaque); later
       {!define_struct} supplies the fields.  This is the recursion /

@@ -137,6 +137,10 @@ let usable_size t payload =
 let is_heap_chunk t payload = Hashtbl.mem t.chunk_sizes payload
 let stats t = t.stats
 
+(** Live heap bytes, read straight off the mutable counter — the VM's
+    per-load/store cache-pressure term calls this on its hottest path. *)
+let[@inline] live_bytes t = t.stats.live_bytes
+
 (** Total heap footprint: bytes between the heap base and the wilderness
     pointer (the working set the cache-pressure cost model taxes). *)
 let footprint_bytes t = Int64.to_int (Int64.sub t.wilderness Mem.heap_base)

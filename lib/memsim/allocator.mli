@@ -39,6 +39,10 @@ val usable_size : t -> int64 -> int
 val is_heap_chunk : t -> int64 -> bool
 val stats : t -> stats
 
+(** Live heap bytes (the [stats] counter, without going through the
+    record) — used by the per-load/store cache-pressure cost term. *)
+val live_bytes : t -> int
+
 (** Bytes between heap base and the wilderness pointer (high-water
     footprint). *)
 val footprint_bytes : t -> int

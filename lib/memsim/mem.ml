@@ -42,11 +42,25 @@ type t = {
   pages : (int, Bytes.t) Hashtbl.t;
   seed : int64;
   mutable mapped_pages : int;  (** footprint statistic *)
+  mutable cached_idx : int;
+      (** one-entry page cache: index of [cached_page], [-1] when empty.
+          Runs of same-page accesses (the overwhelmingly common case)
+          skip the hashtable.  Pages are never unmapped or replaced once
+          mapped, so the cache can only go stale via [Hashtbl.reset] —
+          which nothing does — making it safe to keep forever. *)
+  mutable cached_page : Bytes.t;
 }
 
-let create ?(seed = 1L) () = { pages = Hashtbl.create 1024; seed; mapped_pages = 0 }
+let create ?(seed = 1L) () =
+  {
+    pages = Hashtbl.create 1024;
+    seed;
+    mapped_pages = 0;
+    cached_idx = -1;
+    cached_page = Bytes.empty;
+  }
 
-let page_index addr = Int64.to_int (Int64.shift_right_logical addr page_bits)
+let[@inline] page_index addr = Int64.to_int (Int64.shift_right_logical addr page_bits)
 
 let map_page t idx fill =
   if not (Hashtbl.mem t.pages idx) then begin
@@ -73,12 +87,21 @@ let map_range t addr len fill =
 
 let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
 
-let get_page t addr =
-  match Hashtbl.find_opt t.pages (page_index addr) with
-  | Some p -> p
-  | None -> raise (Fault (Unmapped addr))
+let[@inline] get_page t addr =
+  let idx = page_index addr in
+  if idx = t.cached_idx then t.cached_page
+  else
+    (* [Hashtbl.find], not [find_opt]: loops that touch two pages miss
+       the one-entry cache on every access, and the intermediate [Some]
+       would be an allocation per miss *)
+    match Hashtbl.find t.pages idx with
+    | p ->
+        t.cached_idx <- idx;
+        t.cached_page <- p;
+        p
+    | exception Not_found -> raise (Fault (Unmapped addr))
 
-let offset addr = Int64.to_int (Int64.logand addr 0xFFFL)
+let[@inline] offset addr = Int64.to_int (Int64.logand addr 0xFFFL)
 
 (* Byte accessors.  Multi-byte accesses may straddle a page boundary; the
    fast path (fully within one page) covers virtually all accesses. *)
@@ -106,35 +129,63 @@ let rec write_bytes t addr b pos len =
     write_bytes t (Int64.add addr (Int64.of_int first)) b (pos + first) (len - first)
   end
 
-let read_int t addr len =
-  let off = offset addr in
-  if off + len <= page_size then
-    let page = get_page t addr in
-    match len with
-    | 1 -> Int64.of_int (Char.code (Bytes.get page off))
-    | 2 -> Int64.of_int (Bytes.get_uint16_le page off)
-    | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le page off)) 0xFFFFFFFFL
-    | 8 -> Bytes.get_int64_le page off
-    | _ -> invalid_arg "Mem.read_int: bad length"
-  else
-    (* straddling access: byte-at-a-time *)
-    let rec go i acc =
-      if i = len then acc
-      else
-        let b = Int64.of_int (read_u8 t (Int64.add addr (Int64.of_int i))) in
-        go (i + 1) (Int64.logor acc (Int64.shift_left b (8 * i)))
-    in
-    go 0 0L
+(* Unchecked little-endian scalar accessors.  The stdlib's checked
+   [Bytes.get_int64_le] is an ordinary function, so every call boxes its
+   [int64]; these compile to single load/store instructions and keep the
+   value unboxed end-to-end in the interpreter's load/store path.  Bounds
+   hold by construction: callers only use them under the
+   [off + len <= page_size] guard, and every page is [page_size] bytes. *)
+external unsafe_get16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external unsafe_get32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external unsafe_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+external unsafe_set32 : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+external unsafe_set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external bswap16 : int -> int = "%bswap16"
+external bswap32 : int32 -> int32 = "%bswap_int32"
+external bswap64 : int64 -> int64 = "%bswap_int64"
 
-let write_int t addr len v =
+let[@inline] get16_le b i = if Sys.big_endian then bswap16 (unsafe_get16 b i) else unsafe_get16 b i
+let[@inline] get32_le b i = if Sys.big_endian then bswap32 (unsafe_get32 b i) else unsafe_get32 b i
+let[@inline] get64_le b i = if Sys.big_endian then bswap64 (unsafe_get64 b i) else unsafe_get64 b i
+let[@inline] set16_le b i v = unsafe_set16 b i (if Sys.big_endian then bswap16 v else v)
+let[@inline] set32_le b i v = unsafe_set32 b i (if Sys.big_endian then bswap32 v else v)
+let[@inline] set64_le b i v = unsafe_set64 b i (if Sys.big_endian then bswap64 v else v)
+
+(* Straddling access: byte-at-a-time.  Top-level (not a local function of
+   [read_int]) because a local closure makes the enclosing function
+   non-inlinable without flambda, and [read_int] must inline for its
+   [int64] to stay unboxed in the interpreter loop. *)
+let rec read_int_straddle t addr len i acc =
+  if i = len then acc
+  else
+    let b = Int64.of_int (read_u8 t (Int64.add addr (Int64.of_int i))) in
+    read_int_straddle t addr len (i + 1)
+      (Int64.logor acc (Int64.shift_left b (8 * i)))
+
+let[@inline] read_int t addr len =
   let off = offset addr in
   if off + len <= page_size then
     let page = get_page t addr in
     match len with
-    | 1 -> Bytes.set page off (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
-    | 2 -> Bytes.set_uint16_le page off (Int64.to_int (Int64.logand v 0xFFFFL))
-    | 4 -> Bytes.set_int32_le page off (Int64.to_int32 v)
-    | 8 -> Bytes.set_int64_le page off v
+    | 1 -> Int64.of_int (Char.code (Bytes.unsafe_get page off))
+    | 2 -> Int64.of_int (get16_le page off)
+    | 4 -> Int64.logand (Int64.of_int32 (get32_le page off)) 0xFFFFFFFFL
+    | 8 -> get64_le page off
+    (* [raise], not [invalid_arg]: a call in any arm forces the whole
+       match result into a box; a raise arm leaves it unboxed *)
+    | _ -> raise (Invalid_argument "Mem.read_int: bad length")
+  else Int64.add (read_int_straddle t addr len 0 0L) 0L
+
+let[@inline] write_int t addr len v =
+  let off = offset addr in
+  if off + len <= page_size then
+    let page = get_page t addr in
+    match len with
+    | 1 -> Bytes.unsafe_set page off (Char.unsafe_chr (Int64.to_int (Int64.logand v 0xFFL)))
+    | 2 -> set16_le page off (Int64.to_int (Int64.logand v 0xFFFFL))
+    | 4 -> set32_le page off (Int64.to_int32 v)
+    | 8 -> set64_le page off v
     | _ -> invalid_arg "Mem.write_int: bad length"
   else
     for i = 0 to len - 1 do
@@ -146,10 +197,21 @@ let write_int t addr len v =
 let read_f64 t addr = Int64.float_of_bits (read_int t addr 8)
 let write_f64 t addr v = write_int t addr 8 (Int64.bits_of_float v)
 
+(* Page-wise [Bytes.fill]: this zeroes every global and every
+   [__dpmr_zero] region, so a byte-at-a-time loop shows up in profiles.
+   Faults at the same address the byte loop would have: the first byte
+   touched in the first unmapped page. *)
 let fill t addr len byte =
-  for i = 0 to len - 1 do
-    write_u8 t (Int64.add addr (Int64.of_int i)) byte
-  done
+  let c = Char.chr (byte land 0xFF) in
+  let rec go addr len =
+    if len > 0 then begin
+      let off = offset addr in
+      let seg = min len (page_size - off) in
+      Bytes.fill (get_page t addr) off seg c;
+      go (Int64.add addr (Int64.of_int seg)) (len - seg)
+    end
+  in
+  go addr len
 
 (** memmove semantics (overlap-safe). *)
 let move t ~dst ~src len =

@@ -36,6 +36,10 @@ type t = {
   pages : (int, Bytes.t) Hashtbl.t;
   seed : int64;
   mutable mapped_pages : int;  (** footprint statistic *)
+  mutable cached_idx : int;
+      (** one-entry page cache (index of [cached_page], [-1] when empty);
+          pages are never unmapped or replaced, so it cannot go stale *)
+  mutable cached_page : Bytes.t;
 }
 
 val create : ?seed:int64 -> unit -> t
@@ -57,6 +61,9 @@ val read_int : t -> int64 -> int -> int64
 val write_int : t -> int64 -> int -> int64 -> unit
 val read_f64 : t -> int64 -> float
 val write_f64 : t -> int64 -> float -> unit
+
+(** Set [len] bytes from [addr] to a byte value, page-wise
+    ([Bytes.fill] per touched page rather than a byte loop). *)
 val fill : t -> int64 -> int -> int -> unit
 
 (** memmove semantics (overlap-safe copy). *)

@@ -1,0 +1,246 @@
+(** One-time lowering of IR into a pre-resolved, threaded form.
+
+    The tree-walking interpreter re-derived static facts on every dynamic
+    instruction: branch targets through a label hashtable, struct layouts
+    by recursive walks over the type environment, cast source widths via
+    {!Prog.operand_ty}, callees through two hashtable probes, and constant
+    operands re-truncated at each evaluation.  All of that is a function
+    of the program text, so this pass computes it once per static
+    instruction and emits a form the VM dispatch loop can execute with
+    array indexing only:
+
+    - blocks become an array indexed by block id; branches carry ids;
+    - [Malloc]/[Alloca]/[Gep_*] carry element sizes, alignments and field
+      byte offsets from {!Layout};
+    - [Int_cast]/[I_to_f] carry the pre-resolved source width;
+    - constants are pre-truncated and pre-boxed as runtime values;
+    - direct calls bind the lowered callee (or a per-VM extern slot) and
+      their base cost once.
+
+    Lowering never fails where the tree-walker would have succeeded: any
+    static resolution error (unknown label, bad field index, undefined
+    aggregate) is captured and replayed as the {e same} exception only if
+    the offending instruction is actually executed, via {!Lpoison} and
+    {!Braise} — dead broken code stays dead, as it was for the
+    tree-walker. *)
+
+open Dpmr_ir
+open Types
+open Inst
+
+type value = I of int64 | F of float
+
+(* The [W64] arms apply an identity operation instead of returning [v]
+   directly: when every arm of the match is an arithmetic expression the
+   compiler keeps the joined [int64] unboxed in callers, whereas a bare
+   variable arm forces a heap box per evaluation (measured: one minor
+   allocation per executed ALU instruction). *)
+let[@inline] truncate_to w v =
+  match w with
+  | W8 -> Int64.logand v 0xFFL
+  | W16 -> Int64.logand v 0xFFFFL
+  | W32 -> Int64.logand v 0xFFFFFFFFL
+  | W64 -> Int64.logand v (-1L)
+
+let[@inline] sign_extend w v =
+  match w with
+  | W8 -> Int64.shift_right (Int64.shift_left v 56) 56
+  | W16 -> Int64.shift_right (Int64.shift_left v 48) 48
+  | W32 -> Int64.shift_right (Int64.shift_left v 32) 32
+  | W64 -> Int64.shift_right (Int64.shift_left v 0) 0
+
+(** Lowered operands.  Globals and function addresses stay symbolic:
+    global addresses are per-VM, and function addresses are assigned
+    lazily {e in first-use order} at run time — pre-assigning them here
+    would change the address values a program can print or compare. *)
+type lop =
+  | Lreg of int
+  | Lconst of value  (** pre-truncated, pre-boxed constant *)
+  | Lglobal of string
+  | Lfun_name of string
+
+(** Scalar shape of a load/store, resolved from the static type.
+    Pointers load/store as 8-byte integers. *)
+type lkind =
+  | Kint of int  (** byte width *)
+  | Kfloat
+  | Kbad  (** non-scalar: raises at execution, like the tree-walker *)
+
+(** Branch target: a block id, or the exception {!Func.find_block} would
+    have raised had the branch executed. *)
+type starget = Bidx of int | Braise of exn
+
+type lfunc = {
+  lname : string;
+  lparams : int array;  (** parameter register indices *)
+  lnregs : int;
+  mutable lblocks : lblock array;  (** entry block at index 0 *)
+}
+
+and lblock = { linsts : linst array; lterm : lterm }
+
+and lterm =
+  | Lbr of starget
+  | Lcbr of lop * starget * starget
+  | Lret of lop option
+  | Lunreachable of string  (** pre-formatted error message *)
+
+and lcallee =
+  | Lfun of lfunc  (** direct call to a defined function *)
+  | Lextern of int * string  (** direct call to an extern: slot, name *)
+  | Lindirect of lop
+
+and linst =
+  | Lmalloc of int * int * lop  (** reg, element size, count *)
+  | Lalloca of int * int * int * lop  (** reg, element size, align, count *)
+  | Lfree of lop
+  | Lload of int * lkind * lop
+  | Lstore of lkind * lop * lop  (** kind, value, pointer *)
+  | Lgep_field of int * int * lop  (** reg, byte offset, pointer *)
+  | Lgep_index of int * int * lop * lop  (** reg, elem size, pointer, index *)
+  | Lmov of int * lop  (** bitcast / ptr_to_int / int_to_ptr: cast-cost copy *)
+  | Lbinop of int * binop * width * lop * lop
+  | Lfbinop of int * fbinop * lop * lop
+  | Licmp of int * icond * width * lop * lop
+  | Lfcmp of int * fcond * lop * lop
+  | Lint_cast of int * width * bool * width * lop
+      (** reg, dest width, signed, source width, value *)
+  | Lf_to_i of int * width * lop
+  | Li_to_f of int * width * lop  (** reg, source width, value *)
+  | Lselect of int * lop * lop * lop
+  | Lcall of int option * lcallee * lop array * int  (** pre-computed cost *)
+  | Lpoison of exn  (** static resolution failed; re-raise when executed *)
+
+type prog = {
+  funcs : (string, lfunc) Hashtbl.t;
+  slot_of_name : (string, int) Hashtbl.t;
+      (** extern slot per direct-callee name; the VM resolves each slot to
+          a closure once per instance *)
+  mutable n_slots : int;
+  src : Prog.t;  (** the program this was lowered from *)
+}
+
+let lower_operand = function
+  | Reg r -> Lreg r
+  | Cint (w, v) -> Lconst (I (truncate_to w v))
+  | Cfloat x -> Lconst (F x)
+  | Null _ -> Lconst (I 0L)
+  | Global g -> Lglobal g
+  | Fun_addr f -> Lfun_name f
+
+let kind_of = function
+  | Float -> Kfloat
+  | Int w -> Kint (bytes_of_width w)
+  | Ptr _ -> Kint 8
+  | _ -> Kbad
+
+(* Source width of an integer cast: values are kept zero-extended to
+   their own width, so sign extension needs the operand's static type. *)
+let src_width p f v =
+  match Prog.operand_ty p f v with Int w -> w | _ -> W64
+
+let slot_for lp name =
+  match Hashtbl.find_opt lp.slot_of_name name with
+  | Some i -> i
+  | None ->
+      let i = lp.n_slots in
+      lp.n_slots <- i + 1;
+      Hashtbl.replace lp.slot_of_name name i;
+      i
+
+let lower_inst lp (p : Prog.t) (f : Func.t) (inst : Inst.inst) : linst =
+  let tenv = p.Prog.tenv in
+  try
+    match inst with
+    | Malloc (r, ty, n) -> Lmalloc (r, Layout.size_of tenv ty, lower_operand n)
+    | Alloca (r, ty, n) ->
+        Lalloca
+          ( r,
+            Layout.size_of tenv ty,
+            max 8 (Layout.align_of tenv ty),
+            lower_operand n )
+    | Free o -> Lfree (lower_operand o)
+    | Load (r, ty, o) -> Lload (r, kind_of ty, lower_operand o)
+    | Store (ty, v, o) -> Lstore (kind_of ty, lower_operand v, lower_operand o)
+    | Gep_field (r, sname, o, i) ->
+        Lgep_field (r, Layout.field_offset tenv sname i, lower_operand o)
+    | Gep_index (r, ety, o, i) ->
+        Lgep_index (r, Layout.size_of tenv ety, lower_operand o, lower_operand i)
+    | Bitcast (r, _, o) | Ptr_to_int (r, o) | Int_to_ptr (r, _, o) ->
+        Lmov (r, lower_operand o)
+    | Binop (r, op, w, a, b) -> Lbinop (r, op, w, lower_operand a, lower_operand b)
+    | Fbinop (r, op, a, b) -> Lfbinop (r, op, lower_operand a, lower_operand b)
+    | Icmp (r, c, w, a, b) -> Licmp (r, c, w, lower_operand a, lower_operand b)
+    | Fcmp (r, c, a, b) -> Lfcmp (r, c, lower_operand a, lower_operand b)
+    | Int_cast (r, w, signed, v) ->
+        Lint_cast (r, w, signed, src_width p f v, lower_operand v)
+    | F_to_i (r, w, v) -> Lf_to_i (r, w, lower_operand v)
+    | I_to_f (r, _, v) -> Li_to_f (r, src_width p f v, lower_operand v)
+    | Select (r, _, c, a, b) ->
+        Lselect (r, lower_operand c, lower_operand a, lower_operand b)
+    | Call (r, callee, args) ->
+        let lc =
+          match callee with
+          | Direct n -> (
+              match Hashtbl.find_opt lp.funcs n with
+              | Some lf -> Lfun lf
+              | None -> Lextern (slot_for lp n, n))
+          | Indirect o -> Lindirect (lower_operand o)
+        in
+        Lcall
+          ( r,
+            lc,
+            Array.of_list (List.map lower_operand args),
+            Cost.call_base + (Cost.call_per_arg * List.length args) )
+  with (Invalid_argument _ | Failure _ | Not_found) as e -> Lpoison e
+
+let lower_target (f : Func.t) label =
+  match try Some (Func.block_index f label) with Invalid_argument _ -> None with
+  | Some i -> Bidx i
+  | None ->
+      (* replay find_block's lazy failure, message included *)
+      Braise
+        (Invalid_argument
+           (Printf.sprintf "Func.find_block: %s has no block %S" f.Func.name
+              label))
+
+let lower_term (f : Func.t) : Inst.term -> lterm = function
+  | Br l -> Lbr (lower_target f l)
+  | Cbr (c, l1, l2) -> Lcbr (lower_operand c, lower_target f l1, lower_target f l2)
+  | Ret o -> Lret (Option.map lower_operand o)
+  | Unreachable -> Lunreachable (f.Func.name ^ ": executed unreachable")
+
+let shell (f : Func.t) =
+  {
+    lname = f.Func.name;
+    lparams = Array.of_list (List.map fst f.Func.params);
+    lnregs = f.Func.next_reg;
+    lblocks = [||];
+  }
+
+let fill_body lp p (f : Func.t) lf =
+  lf.lblocks <-
+    Array.map
+      (fun (b : Func.block) ->
+        {
+          linsts = Array.of_list (List.map (lower_inst lp p f) b.Func.insts);
+          lterm = lower_term f b.Func.term;
+        })
+      (Func.block_array f)
+
+(* Two phases so mutually recursive call knots resolve: every function
+   gets a shell first, then bodies are filled in place — [Lfun] callees
+   hold the shell whose blocks appear in phase two. *)
+let lower_prog (p : Prog.t) : prog =
+  let lp =
+    {
+      funcs = Hashtbl.create 64;
+      slot_of_name = Hashtbl.create 16;
+      n_slots = 0;
+      src = p;
+    }
+  in
+  Prog.iter_funcs p (fun f -> Hashtbl.replace lp.funcs f.Func.name (shell f));
+  Prog.iter_funcs p (fun f ->
+      fill_body lp p f (Hashtbl.find lp.funcs f.Func.name));
+  lp

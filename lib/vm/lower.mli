@@ -1,0 +1,97 @@
+(** One-time lowering of IR into a pre-resolved, threaded form.
+
+    Compiles each {!Func.t} into arrays of pre-resolved instructions:
+    branch targets become block ids, {!Layout} sizes/alignments/offsets
+    and cast source widths are baked into the opcodes, constants are
+    pre-truncated and pre-boxed, and direct calls bind their lowered
+    callee (or a per-VM extern slot) and base cost once.  The {!Vm}
+    dispatch loop then executes with array indexing only.
+
+    Static resolution errors (unknown label, bad field index, undefined
+    aggregate) are captured as {!Lpoison}/{!Braise} and re-raised —
+    unchanged — only if the broken instruction actually executes, so
+    lowering never fails where the tree-walking interpreter would have
+    succeeded. *)
+
+open Dpmr_ir
+open Types
+
+type value = I of int64 | F of float
+(** Runtime values: integers and pointers share [I]. *)
+
+val truncate_to : width -> int64 -> int64
+val sign_extend : width -> int64 -> int64
+
+(** Lowered operands.  Globals and function addresses stay symbolic:
+    global addresses are per-VM, and function addresses are assigned
+    lazily in first-use order at run time. *)
+type lop =
+  | Lreg of int
+  | Lconst of value  (** pre-truncated, pre-boxed constant *)
+  | Lglobal of string
+  | Lfun_name of string
+
+(** Scalar shape of a load/store; pointers move as 8-byte integers. *)
+type lkind =
+  | Kint of int  (** byte width *)
+  | Kfloat
+  | Kbad  (** non-scalar: raises at execution, like the tree-walker *)
+
+(** Branch target: a block id, or the exception {!Func.find_block} would
+    have raised had the branch executed. *)
+type starget = Bidx of int | Braise of exn
+
+type lfunc = {
+  lname : string;
+  lparams : int array;  (** parameter register indices *)
+  lnregs : int;
+  mutable lblocks : lblock array;  (** entry block at index 0 *)
+}
+
+and lblock = { linsts : linst array; lterm : lterm }
+
+and lterm =
+  | Lbr of starget
+  | Lcbr of lop * starget * starget
+  | Lret of lop option
+  | Lunreachable of string  (** pre-formatted error message *)
+
+and lcallee =
+  | Lfun of lfunc  (** direct call to a defined function *)
+  | Lextern of int * string  (** direct call to an extern: slot, name *)
+  | Lindirect of lop
+
+and linst =
+  | Lmalloc of int * int * lop  (** reg, element size, count *)
+  | Lalloca of int * int * int * lop  (** reg, element size, align, count *)
+  | Lfree of lop
+  | Lload of int * lkind * lop
+  | Lstore of lkind * lop * lop  (** kind, value, pointer *)
+  | Lgep_field of int * int * lop  (** reg, byte offset, pointer *)
+  | Lgep_index of int * int * lop * lop  (** reg, elem size, pointer, index *)
+  | Lmov of int * lop  (** bitcast / ptr_to_int / int_to_ptr: cast-cost copy *)
+  | Lbinop of int * Inst.binop * width * lop * lop
+  | Lfbinop of int * Inst.fbinop * lop * lop
+  | Licmp of int * Inst.icond * width * lop * lop
+  | Lfcmp of int * Inst.fcond * lop * lop
+  | Lint_cast of int * width * bool * width * lop
+      (** reg, dest width, signed, source width, value *)
+  | Lf_to_i of int * width * lop
+  | Li_to_f of int * width * lop  (** reg, source width, value *)
+  | Lselect of int * lop * lop * lop
+  | Lcall of int option * lcallee * lop array * int  (** pre-computed cost *)
+  | Lpoison of exn  (** static resolution failed; re-raise when executed *)
+
+type prog = {
+  funcs : (string, lfunc) Hashtbl.t;
+  slot_of_name : (string, int) Hashtbl.t;
+      (** extern slot per direct-callee name; the VM resolves each slot to
+          a closure once per instance *)
+  mutable n_slots : int;
+  src : Prog.t;  (** the program this was lowered from *)
+}
+
+(** Lower a whole program.  Cheap enough to run once per program build;
+    the result is immutable and may be shared by any number of VMs
+    executing the same (unmodified) program. *)
+val lower_prog : Prog.t -> prog

@@ -1,13 +1,27 @@
 (** The interpreter: executes an IR program against the simulated memory
     subsystem, charging the {!Cost} model, dispatching external functions,
-    and classifying the run per {!Outcome}. *)
+    and classifying the run per {!Outcome}.
+
+    Two engines share all VM state and must agree bit-for-bit:
+
+    - the {b lowered} engine (default, used by {!run}) executes the
+      pre-resolved threaded form produced by {!Lower} — block ids instead
+      of label lookups, baked layouts and cast widths, pre-bound callees;
+    - the {b reference} engine ({!run_reference}) is the original
+      tree-walking interpreter over {!Func.t}, kept as the executable
+      specification the differential tests compare against.
+
+    The [use_lowered] flag routes {!call_function}, so externs that
+    re-enter the interpreter (e.g. the qsort comparator callback) stay on
+    whichever engine started the run. *)
 
 open Dpmr_ir
 open Dpmr_memsim
 open Types
 open Inst
+module L = Lower
 
-type value = I of int64 | F of float
+type value = Lower.value = I of int64 | F of float
 
 exception Exit_program of int
 exception Dpmr_detected of string
@@ -16,6 +30,7 @@ exception Vm_error of string
 
 type t = {
   prog : Prog.t;
+  lprog : Lower.prog;
   mem : Mem.t;
   alloc : Allocator.t;
   mutable sp : int64;
@@ -24,36 +39,30 @@ type t = {
   addr_fun : (int64, string) Hashtbl.t;
   mutable next_fun_addr : int64;
   out : Buffer.t;
-  mutable cost : int64;
-  mutable budget : int64;  (** raise {!Timeout_exceeded} when cost exceeds *)
+  mutable cost : int;
+  mutable budget : int;  (** raise {!Timeout_exceeded} when cost exceeds *)
   rng : Rng.t;
   externs : (string, extern) Hashtbl.t;
-  mutable fi_first_cost : int64 option;
+  extern_slots : extern option array;
+      (** per-VM resolution of the {!Lower.Lextern} call slots *)
+  mutable fi_first_cost : int option;
   mutable call_depth : int;
+  mutable use_lowered : bool;  (** engine selector for {!call_function} *)
 }
 
 and extern = t -> value list -> value option
 
-let add_cost t c = t.cost <- Int64.add t.cost (Int64.of_int c)
+let add_cost t c = t.cost <- t.cost + c
 
 let check_budget t = if t.cost > t.budget then raise Timeout_exceeded
 
 let as_int = function I v -> v | F _ -> raise (Vm_error "expected int/pointer value")
 let as_float = function F v -> v | I _ -> raise (Vm_error "expected float value")
 
-let truncate_to w v =
-  match w with
-  | W8 -> Int64.logand v 0xFFL
-  | W16 -> Int64.logand v 0xFFFFL
-  | W32 -> Int64.logand v 0xFFFFFFFFL
-  | W64 -> v
-
-let sign_extend w v =
-  match w with
-  | W8 -> Int64.shift_right (Int64.shift_left v 56) 56
-  | W16 -> Int64.shift_right (Int64.shift_left v 48) 48
-  | W32 -> Int64.shift_right (Int64.shift_left v 32) 32
-  | W64 -> v
+(* eta-expanded so the calls inline: a bare closure alias would route
+   every ALU instruction through a generic (boxing) application *)
+let[@inline] truncate_to w v = Lower.truncate_to w v
+let[@inline] sign_extend w v = Lower.sign_extend w v
 
 (* ------------------------------------------------------------------ *)
 (* Construction and program loading                                    *)
@@ -69,10 +78,13 @@ let fun_address t name =
       Hashtbl.replace t.addr_fun a name;
       a
 
+(* [Hashtbl.find], not [find_opt]: globals are read inside hot loops and
+   the intermediate [Some] would be an allocation per access *)
 let global_address t name =
-  match Hashtbl.find_opt t.global_addr name with
-  | Some a -> a
-  | None -> raise (Vm_error (Printf.sprintf "no address for global %S" name))
+  match Hashtbl.find t.global_addr name with
+  | a -> a
+  | exception Not_found ->
+      raise (Vm_error (Printf.sprintf "no address for global %S" name))
 
 (* Write a structural initializer at [addr]. *)
 let rec write_ginit t addr ty (g : Prog.ginit) =
@@ -97,13 +109,19 @@ let rec write_ginit t addr ty (g : Prog.ginit) =
           if i < n then write_ginit t (Int64.add addr (Int64.of_int (i * esz))) e gi)
         gs
   | Prog.Gagg gs, Struct sname ->
-      let fields = Tenv.fields tenv sname in
-      let offs = Layout.field_offsets tenv sname in
-      List.iteri
-        (fun i gi ->
-          let fty = List.nth fields i and off = List.nth offs i in
-          write_ginit t (Int64.add addr (Int64.of_int off)) fty gi)
-        gs
+      (* walk initializers, field types and offsets together — indexing
+         the lists per element made large struct initializers quadratic *)
+      let rec go gs fields offs =
+        match (gs, fields, offs) with
+        | [], _, _ -> ()
+        | gi :: gs', fty :: fields', off :: offs' ->
+            write_ginit t (Int64.add addr (Int64.of_int off)) fty gi;
+            go gs' fields' offs'
+        | _ :: _, _, _ ->
+            (* more initializers than fields: fail as [List.nth] did *)
+            raise (Failure "nth")
+      in
+      go gs (Tenv.fields tenv sname) (Layout.field_offsets tenv sname)
   | _ ->
       raise
         (Vm_error
@@ -126,11 +144,17 @@ let layout_globals t =
   Prog.iter_globals t.prog (fun g ->
       write_ginit t (Hashtbl.find t.global_addr g.gname) g.gty g.ginit)
 
-let create ?(seed = 42L) ?(budget = 2_000_000_000L) prog =
+let create ?(seed = 42L) ?(budget = 2_000_000_000L) ?lowered prog =
+  let lprog =
+    match lowered with
+    | Some lp when lp.L.src == prog -> lp
+    | Some _ | None -> Lower.lower_prog prog
+  in
   let mem = Mem.create ~seed () in
   let t =
     {
       prog;
+      lprog;
       mem;
       alloc = Allocator.create mem;
       sp = Mem.stack_base;
@@ -139,50 +163,33 @@ let create ?(seed = 42L) ?(budget = 2_000_000_000L) prog =
       addr_fun = Hashtbl.create 32;
       next_fun_addr = 0x2000_0000L;
       out = Buffer.create 256;
-      cost = 0L;
-      budget;
+      cost = 0;
+      budget = Int64.to_int budget;
       rng = Rng.create seed;
       externs = Hashtbl.create 64;
+      extern_slots = Array.make lprog.L.n_slots None;
       fi_first_cost = None;
       call_depth = 0;
+      use_lowered = true;
     }
   in
   layout_globals t;
   t
 
-let register_extern t name fn = Hashtbl.replace t.externs name fn
+let register_extern t name fn =
+  Hashtbl.replace t.externs name fn;
+  (* keep any already-bound call slot in sync with the re-registration *)
+  match Hashtbl.find_opt t.lprog.L.slot_of_name name with
+  | Some i -> t.extern_slots.(i) <- Some fn
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Execution                                                           *)
+(* Shared execution helpers                                            *)
 (* ------------------------------------------------------------------ *)
 
 type frame = { regs : value array; entry_sp : int64 }
 
-let eval t frame = function
-  | Reg r -> frame.regs.(r)
-  | Cint (w, v) -> I (truncate_to w v)
-  | Cfloat x -> F x
-  | Null _ -> I 0L
-  | Global g -> I (global_address t g)
-  | Fun_addr f -> I (fun_address t f)
-
-let load_scalar t ty addr =
-  match ty with
-  | Float -> F (Mem.read_f64 t.mem addr)
-  | Int w -> I (Mem.read_int t.mem addr (bytes_of_width w))
-  | Ptr _ -> I (Mem.read_int t.mem addr 8)
-  | _ -> raise (Vm_error "load of non-scalar")
-
-let store_scalar t ty addr v =
-  match (ty, v) with
-  | Float, F x -> Mem.write_f64 t.mem addr x
-  | Float, I bits -> Mem.write_f64 t.mem addr (Int64.float_of_bits bits)
-  | Int w, I x -> Mem.write_int t.mem addr (bytes_of_width w) x
-  | Ptr _, I x -> Mem.write_int t.mem addr 8 x
-  | Int _, F _ | Ptr _, F _ -> raise (Vm_error "store: float value into int slot")
-  | _ -> raise (Vm_error "store of non-scalar")
-
-let exec_binop op w a b =
+let[@inline] exec_binop op w a b =
   let sa = sign_extend w a and sb = sign_extend w b in
   let r =
     match op with
@@ -210,7 +217,7 @@ let exec_binop op w a b =
   in
   truncate_to w r
 
-let exec_icmp c w a b =
+let[@inline] exec_icmp c w a b =
   let sa = sign_extend w a and sb = sign_extend w b in
   let r =
     match c with
@@ -227,7 +234,7 @@ let exec_icmp c w a b =
   in
   if r then 1L else 0L
 
-let exec_fcmp c a b =
+let[@inline] exec_fcmp c a b =
   let r =
     match c with
     | Foeq -> a = b
@@ -241,24 +248,370 @@ let exec_fcmp c a b =
 
 let max_call_depth = 10_000
 
+(* Reference-engine scalar moves (the lowered engine bakes the kind). *)
+
+let load_scalar t ty addr =
+  match ty with
+  | Float -> F (Mem.read_f64 t.mem addr)
+  | Int w -> I (Mem.read_int t.mem addr (bytes_of_width w))
+  | Ptr _ -> I (Mem.read_int t.mem addr 8)
+  | _ -> raise (Vm_error "load of non-scalar")
+
+let store_scalar t ty addr v =
+  match (ty, v) with
+  | Float, F x -> Mem.write_f64 t.mem addr x
+  | Float, I bits -> Mem.write_f64 t.mem addr (Int64.float_of_bits bits)
+  | Int w, I x -> Mem.write_int t.mem addr (bytes_of_width w) x
+  | Ptr _, I x -> Mem.write_int t.mem addr 8 x
+  | Int _, F _ | Ptr _, F _ -> raise (Vm_error "store: float value into int slot")
+  | _ -> raise (Vm_error "store of non-scalar")
+
+(* Lowered-engine register file: a flat byte buffer, 8 bytes per
+   register, plus one tag byte per register ('\000' int, '\001' float).
+   Keeping scalars out of [value] boxes is the difference between ~5
+   words of allocation per executed ALU instruction and none: results
+   flow between [Bytes] 64-bit primitives unboxed, and [I]/[F] boxes are
+   built only at call, return and extern boundaries.  Register indices
+   come from {!Lower} and are always < [lnregs], so the unchecked
+   accessors are in range. *)
+
+external reg_get : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external reg_set : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+type lframe = { bits : Bytes.t; tags : Bytes.t; lentry_sp : int64 }
+
+(* same poison as the boxed register file had: an uninitialized register
+   reads back as the int 0xDEADBEEF *)
+let make_lframe nregs sp =
+  let bits = Bytes.create (nregs lsl 3) in
+  let tags = Bytes.make nregs '\000' in
+  for r = 0 to nregs - 1 do
+    reg_set bits (r lsl 3) 0xDEADBEEFL
+  done;
+  { bits; tags; lentry_sp = sp }
+
+let[@inline] reg_int fr r =
+  if Bytes.unsafe_get fr.tags r <> '\000' then
+    raise (Vm_error "expected int/pointer value");
+  reg_get fr.bits (r lsl 3)
+
+let[@inline] reg_float fr r =
+  if Bytes.unsafe_get fr.tags r = '\000' then
+    raise (Vm_error "expected float value");
+  Int64.float_of_bits (reg_get fr.bits (r lsl 3))
+
+let[@inline] set_int fr r x =
+  Bytes.unsafe_set fr.tags r '\000';
+  reg_set fr.bits (r lsl 3) x
+
+let[@inline] set_float fr r x =
+  Bytes.unsafe_set fr.tags r '\001';
+  reg_set fr.bits (r lsl 3) (Int64.bits_of_float x)
+
+let[@inline] set_value fr r = function
+  | I x -> set_int fr r x
+  | F x -> set_float fr r x
+
+(* Operand evaluation.  [leval_int o] ≡ [as_int (leval o)] and
+   [leval_float o] ≡ [as_float (leval o)] of the boxed form: same
+   raises, same order — notably [Lfun_name] assigns the function its
+   address {e before} a type-mismatch error surfaces. *)
+
+let[@inline] leval t fr (o : L.lop) =
+  match o with
+  | L.Lreg r ->
+      if Bytes.unsafe_get fr.tags r = '\000' then I (reg_get fr.bits (r lsl 3))
+      else F (Int64.float_of_bits (reg_get fr.bits (r lsl 3)))
+  | L.Lconst v -> v
+  | L.Lglobal g -> I (global_address t g)
+  | L.Lfun_name f -> I (fun_address t f)
+
+(* the [Int64.add _ 0L] identities keep every arm a syntactic arithmetic
+   expression, so the match join stays unboxed in callers (a bare
+   variable or call-result arm would force one box per evaluation) *)
+let[@inline] leval_int t fr (o : L.lop) =
+  match o with
+  | L.Lreg r -> reg_int fr r
+  | L.Lconst (I x) -> Int64.add x 0L
+  | L.Lconst (F _) -> raise (Vm_error "expected int/pointer value")
+  | L.Lglobal g -> Int64.add (global_address t g) 0L
+  | L.Lfun_name f -> Int64.add (fun_address t f) 0L
+
+let[@inline] leval_float t fr (o : L.lop) =
+  match o with
+  | L.Lreg r -> reg_float fr r
+  | L.Lconst (F x) -> Int64.float_of_bits (Int64.bits_of_float x)
+  | L.Lconst (I _) -> raise (Vm_error "expected float value")
+  | L.Lglobal g ->
+      ignore (global_address t g);
+      raise (Vm_error "expected float value")
+  | L.Lfun_name f ->
+      ignore (fun_address t f);
+      raise (Vm_error "expected float value")
+
+(* register-to-register moves copy bits and tag without boxing *)
+let copy_op t fr r (o : L.lop) =
+  match o with
+  | L.Lreg s ->
+      Bytes.unsafe_set fr.tags r (Bytes.unsafe_get fr.tags s);
+      reg_set fr.bits (r lsl 3) (reg_get fr.bits (s lsl 3))
+  | o -> set_value fr r (leval t fr o)
+
+let resolve_target = function L.Bidx i -> i | L.Braise e -> raise e
+
+let unknown_function name =
+  raise (Vm_error (Printf.sprintf "call to unknown function %S" name))
+
+(* ------------------------------------------------------------------ *)
+(* Execution: both engines in one recursive knot (externs re-enter via  *)
+(* [call_function], which routes on [use_lowered])                      *)
+(* ------------------------------------------------------------------ *)
+
 let rec call_function t name args =
-  match Hashtbl.find_opt t.prog.funcs name with
-  | Some f -> exec_func t f args
-  | None -> (
-      match Hashtbl.find_opt t.externs name with
-      | Some fn -> fn t args
-      | None -> raise (Vm_error (Printf.sprintf "call to unknown function %S" name)))
+  if t.use_lowered then
+    match Hashtbl.find_opt t.lprog.L.funcs name with
+    | Some lf -> exec_lfunc t lf (Array.of_list args)
+    | None -> (
+        match Hashtbl.find_opt t.externs name with
+        | Some fn -> fn t args
+        | None -> unknown_function name)
+  else
+    match Hashtbl.find_opt t.prog.funcs name with
+    | Some f -> exec_func t f args
+    | None -> (
+        match Hashtbl.find_opt t.externs name with
+        | Some fn -> fn t args
+        | None -> unknown_function name)
+
+(* ---- lowered engine ---- *)
+
+and exec_lfunc t (lf : L.lfunc) (args : value array) =
+  if t.call_depth >= max_call_depth then raise (Vm_error "stack overflow");
+  t.call_depth <- t.call_depth + 1;
+  let nparams = Array.length lf.L.lparams in
+  if Array.length args < nparams then
+    raise
+      (Vm_error
+         (Printf.sprintf "%s: missing argument %d" lf.L.lname
+            (Array.length args)));
+  let frame = make_lframe lf.L.lnregs t.sp in
+  for i = 0 to nparams - 1 do
+    set_value frame lf.L.lparams.(i) args.(i)
+  done;
+  if Array.length lf.L.lblocks = 0 then
+    invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" lf.L.lname);
+  let result = exec_lblocks t lf frame in
+  t.sp <- frame.lentry_sp;
+  t.call_depth <- t.call_depth - 1;
+  result
+
+and exec_lblocks t (lf : L.lfunc) frame =
+  let blocks = lf.L.lblocks in
+  let rec go idx =
+    let (b : L.lblock) = blocks.(idx) in
+    check_budget t;
+    let insts = b.L.linsts in
+    for i = 0 to Array.length insts - 1 do
+      exec_linst t frame insts.(i)
+    done;
+    match b.L.lterm with
+    | L.Lbr tgt ->
+        add_cost t Cost.branch;
+        go (resolve_target tgt)
+    | L.Lcbr (c, t1, t2) ->
+        add_cost t Cost.cond_branch;
+        let v = leval_int t frame c in
+        go (resolve_target (if not (Int64.equal v 0L) then t1 else t2))
+    | L.Lret o ->
+        add_cost t Cost.ret;
+        Option.map (leval t frame) o
+    | L.Lunreachable msg -> raise (Vm_error msg)
+  in
+  go 0
+
+and exec_linst t frame (inst : L.linst) =
+  match inst with
+  | L.Lmalloc (r, esz, n) ->
+      let count = Int64.to_int (leval_int t frame n) in
+      if count < 0 then raise (Vm_error "malloc: negative count");
+      let bytes = count * esz in
+      add_cost t (Cost.malloc_cost bytes);
+      set_int frame r (Allocator.malloc t.alloc bytes)
+  | L.Lalloca (r, esz, algn, n) ->
+      let count = Int64.to_int (leval_int t frame n) in
+      let bytes = max 1 (count * esz) in
+      add_cost t (Cost.alloca_cost bytes);
+      let addr = Int64.of_int (Layout.round_up (Int64.to_int t.sp) algn) in
+      Mem.map_range t.mem addr bytes Mem.Fill_garbage;
+      t.sp <- Int64.add addr (Int64.of_int bytes);
+      set_int frame r addr
+  | L.Lfree p ->
+      add_cost t Cost.free_cost;
+      let addr = leval_int t frame p in
+      if not (Int64.equal addr 0L) then Allocator.free t.alloc addr
+  | L.Lload (r, k, p) ->
+      add_cost t (Cost.load + Cost.heap_pressure (Allocator.live_bytes t.alloc));
+      let addr = leval_int t frame p in
+      (match k with
+      | L.Kint n -> set_int frame r (Mem.read_int t.mem addr n)
+      | L.Kfloat ->
+          (* F (read_f64 addr) stored as bits = the raw 8 loaded bytes *)
+          Bytes.unsafe_set frame.tags r '\001';
+          reg_set frame.bits (r lsl 3) (Mem.read_int t.mem addr 8)
+      | L.Kbad -> raise (Vm_error "load of non-scalar"))
+  | L.Lstore (k, v, p) ->
+      add_cost t (Cost.store + Cost.heap_pressure (Allocator.live_bytes t.alloc));
+      let addr = leval_int t frame p in
+      (match k with
+      | L.Kint n -> (
+          match v with
+          | L.Lreg s ->
+              if Bytes.unsafe_get frame.tags s <> '\000' then
+                raise (Vm_error "store: float value into int slot");
+              Mem.write_int t.mem addr n (reg_get frame.bits (s lsl 3))
+          | L.Lconst (I y) -> Mem.write_int t.mem addr n y
+          | L.Lconst (F _) ->
+              raise (Vm_error "store: float value into int slot")
+          | L.Lglobal g -> Mem.write_int t.mem addr n (global_address t g)
+          | L.Lfun_name f -> Mem.write_int t.mem addr n (fun_address t f))
+      | L.Kfloat ->
+          (* a float slot takes any value's bits verbatim: [F f] wrote
+             [bits_of_float f], [I y] wrote [y] reinterpreted — both are
+             exactly the operand's 64 bits *)
+          let bits =
+            match v with
+            | L.Lreg s -> reg_get frame.bits (s lsl 3)
+            | L.Lconst (I y) -> y
+            | L.Lconst (F x) -> Int64.bits_of_float x
+            | L.Lglobal g -> global_address t g
+            | L.Lfun_name f -> fun_address t f
+          in
+          Mem.write_int t.mem addr 8 bits
+      | L.Kbad ->
+          ignore (leval t frame v);
+          raise (Vm_error "store of non-scalar"))
+  | L.Lgep_field (r, off, p) ->
+      add_cost t Cost.gep;
+      let base = leval_int t frame p in
+      set_int frame r (Int64.add base (Int64.of_int off))
+  | L.Lgep_index (r, esz, p, i) ->
+      add_cost t Cost.gep;
+      let base = leval_int t frame p in
+      let idx = leval_int t frame i in
+      set_int frame r (Int64.add base (Int64.mul idx (Int64.of_int esz)))
+  | L.Lmov (r, p) ->
+      add_cost t Cost.cast;
+      copy_op t frame r p
+  | L.Lbinop (r, op, w, a, b) ->
+      add_cost t Cost.alu;
+      (* second operand first: the reference engine's curried application
+         evaluates its arguments right-to-left *)
+      let vb = leval_int t frame b in
+      let va = leval_int t frame a in
+      set_int frame r (exec_binop op w va vb)
+  | L.Lfbinop (r, op, a, b) ->
+      add_cost t Cost.falu;
+      let y = leval_float t frame b in
+      let x = leval_float t frame a in
+      let v =
+        match op with
+        | Fadd -> x +. y
+        | Fsub -> x -. y
+        | Fmul -> x *. y
+        | Fdiv -> x /. y
+      in
+      set_float frame r v
+  | L.Licmp (r, c, w, a, b) ->
+      add_cost t Cost.cmp;
+      let vb = leval_int t frame b in
+      let va = leval_int t frame a in
+      set_int frame r (exec_icmp c w va vb)
+  | L.Lfcmp (r, c, a, b) ->
+      add_cost t Cost.cmp;
+      let vb = leval_float t frame b in
+      let va = leval_float t frame a in
+      set_int frame r (exec_fcmp c va vb)
+  | L.Lint_cast (r, w, signed, src_w, v) ->
+      add_cost t Cost.cast;
+      let x = leval_int t frame v in
+      let x = if signed then sign_extend src_w x else x in
+      set_int frame r (truncate_to w x)
+  | L.Lf_to_i (r, w, v) ->
+      add_cost t Cost.cast;
+      let x = leval_float t frame v in
+      set_int frame r (truncate_to w (Int64.of_float x))
+  | L.Li_to_f (r, src_w, v) ->
+      add_cost t Cost.cast;
+      let x = leval_int t frame v in
+      set_float frame r (Int64.to_float (sign_extend src_w x))
+  | L.Lselect (r, c, a, b) ->
+      add_cost t Cost.select;
+      let cv = leval_int t frame c in
+      copy_op t frame r (if not (Int64.equal cv 0L) then a else b)
+  | L.Lcall (r, callee, args, cost) -> (
+      add_cost t cost;
+      let eval_args () =
+        let n = Array.length args in
+        let argv = Array.make n (I 0L) in
+        for i = 0 to n - 1 do
+          argv.(i) <- leval t frame args.(i)
+        done;
+        argv
+      in
+      (* indirect callees resolve before argument evaluation; unknown
+         names only fault after it — both as in the reference engine *)
+      match callee with
+      | L.Lfun lf -> finish_call t frame r lf.L.lname (exec_lfunc t lf (eval_args ()))
+      | L.Lextern (slot, name) -> (
+          let argv = eval_args () in
+          match t.extern_slots.(slot) with
+          | Some fn -> finish_call t frame r name (fn t (Array.to_list argv))
+          | None -> (
+              match Hashtbl.find_opt t.externs name with
+              | Some fn ->
+                  t.extern_slots.(slot) <- Some fn;
+                  finish_call t frame r name (fn t (Array.to_list argv))
+              | None -> unknown_function name))
+      | L.Lindirect o -> (
+          let addr = leval_int t frame o in
+          match Hashtbl.find_opt t.addr_fun addr with
+          | None -> raise (Mem.Fault (Mem.Unmapped addr))
+          | Some name -> (
+              let argv = eval_args () in
+              match Hashtbl.find_opt t.lprog.L.funcs name with
+              | Some lf -> finish_call t frame r name (exec_lfunc t lf argv)
+              | None -> (
+                  match Hashtbl.find_opt t.externs name with
+                  | Some fn -> finish_call t frame r name (fn t (Array.to_list argv))
+                  | None -> unknown_function name))))
+  | L.Lpoison e -> raise e
+
+and finish_call _t frame r name result =
+  match (r, result) with
+  | Some r, Some v -> set_value frame r v
+  | Some _, None ->
+      raise (Vm_error (Printf.sprintf "%s returned void, result expected" name))
+  | None, _ -> ()
+
+(* ---- reference engine: the original tree-walking interpreter ---- *)
 
 and exec_func t (f : Func.t) args =
   if t.call_depth >= max_call_depth then raise (Vm_error "stack overflow");
   t.call_depth <- t.call_depth + 1;
   let frame = { regs = Array.make f.next_reg (I 0xDEADBEEFL); entry_sp = t.sp } in
-  List.iteri
-    (fun i (r, _) ->
-      match List.nth_opt args i with
-      | Some v -> frame.regs.(r) <- v
-      | None -> raise (Vm_error (Printf.sprintf "%s: missing argument %d" f.name i)))
-    f.params;
+  (* bind arguments by walking params and args together (indexing the
+     argument list per param was quadratic in arity); a short argument
+     list fails at the first missing index, as before *)
+  let rec bind i params args =
+    match (params, args) with
+    | [], _ -> ()
+    | (r, _) :: params', v :: args' ->
+        frame.regs.(r) <- v;
+        bind (i + 1) params' args'
+    | _ :: _, [] ->
+        raise (Vm_error (Printf.sprintf "%s: missing argument %d" f.name i))
+  in
+  bind 0 f.params args;
   let result = exec_blocks t f frame in
   t.sp <- frame.entry_sp;
   t.call_depth <- t.call_depth - 1;
@@ -282,6 +635,14 @@ and exec_blocks t f frame =
     | Unreachable -> raise (Vm_error (f.name ^ ": executed unreachable"))
   in
   run (Func.entry f)
+
+and eval t frame = function
+  | Reg r -> frame.regs.(r)
+  | Cint (w, v) -> I (truncate_to w v)
+  | Cfloat x -> F x
+  | Null _ -> I 0L
+  | Global g -> I (global_address t g)
+  | Fun_addr f -> I (fun_address t f)
 
 and exec_inst t f frame inst =
   let ev o = eval t frame o in
@@ -307,11 +668,11 @@ and exec_inst t f frame inst =
       let addr = as_int (ev p) in
       if not (Int64.equal addr 0L) then Allocator.free t.alloc addr
   | Load (r, ty, p) ->
-      add_cost t (Cost.load + Cost.heap_pressure (Allocator.stats t.alloc).live_bytes);
+      add_cost t (Cost.load + Cost.heap_pressure (Allocator.live_bytes t.alloc));
       let addr = as_int (ev p) in
       set r (load_scalar t ty addr)
   | Store (ty, v, p) ->
-      add_cost t (Cost.store + Cost.heap_pressure (Allocator.stats t.alloc).live_bytes);
+      add_cost t (Cost.store + Cost.heap_pressure (Allocator.live_bytes t.alloc));
       let addr = as_int (ev p) in
       store_scalar t ty addr (ev v)
   | Gep_field (r, sname, p, i) ->
@@ -419,36 +780,60 @@ let setup_argv t args =
     args;
   (I (Int64.of_int n), I argv)
 
+let finish_run t outcome =
+  {
+    Outcome.outcome;
+    cost = Int64.of_int t.cost;
+    output = Buffer.contents t.out;
+    peak_heap_bytes = (Allocator.stats t.alloc).peak_bytes;
+    mapped_pages = t.mem.mapped_pages;
+    fi_first_cost = Option.map Int64.of_int t.fi_first_cost;
+  }
+
+let classify_run t body =
+  try finish_run t (body ()) with
+  | Exit_program 0 -> finish_run t Outcome.Normal
+  | Exit_program n -> finish_run t (Outcome.App_exit n)
+  | Dpmr_detected msg -> finish_run t (Outcome.Dpmr_detect msg)
+  | Timeout_exceeded -> finish_run t Outcome.Timeout
+  | Mem.Fault flt -> finish_run t (Outcome.Crash (Mem.fault_to_string flt))
+  | Vm_error msg -> finish_run t (Outcome.Crash msg)
+  | Stack_overflow -> finish_run t (Outcome.Crash "host stack overflow")
+
+let classify_exit r =
+  let code = match r with Some (I v) -> Int64.to_int v | _ -> 0 in
+  if code = 0 then Outcome.Normal else Outcome.App_exit code
+
 (** Run [main] (or a named entry point) to completion and classify. *)
 let run ?(entry = "main") ?(args = [ "prog" ]) t =
-  let finish outcome =
-    {
-      Outcome.outcome;
-      cost = t.cost;
-      output = Buffer.contents t.out;
-      peak_heap_bytes = (Allocator.stats t.alloc).peak_bytes;
-      mapped_pages = t.mem.mapped_pages;
-      fi_first_cost = t.fi_first_cost;
-    }
-  in
-  try
-    let f = Prog.func t.prog entry in
-    let argv_vals =
-      match f.params with
-      | [] -> []
-      | [ _; _ ] ->
-          let argc, argv = setup_argv t args in
-          [ argc; argv ]
-      | _ -> raise (Vm_error (entry ^ ": entry point must take () or (argc, argv)"))
-    in
-    let r = exec_func t f argv_vals in
-    let code = match r with Some (I v) -> Int64.to_int v | _ -> 0 in
-    finish (if code = 0 then Outcome.Normal else Outcome.App_exit code)
-  with
-  | Exit_program 0 -> finish Outcome.Normal
-  | Exit_program n -> finish (Outcome.App_exit n)
-  | Dpmr_detected msg -> finish (Outcome.Dpmr_detect msg)
-  | Timeout_exceeded -> finish Outcome.Timeout
-  | Mem.Fault flt -> finish (Outcome.Crash (Mem.fault_to_string flt))
-  | Vm_error msg -> finish (Outcome.Crash msg)
-  | Stack_overflow -> finish (Outcome.Crash "host stack overflow")
+  t.use_lowered <- true;
+  classify_run t (fun () ->
+      let lf =
+        match Hashtbl.find_opt t.lprog.L.funcs entry with
+        | Some lf -> lf
+        | None -> invalid_arg (Printf.sprintf "Prog.func: undefined %S" entry)
+      in
+      let argv_vals =
+        match Array.length lf.L.lparams with
+        | 0 -> [||]
+        | 2 ->
+            let argc, argv = setup_argv t args in
+            [| argc; argv |]
+        | _ -> raise (Vm_error (entry ^ ": entry point must take () or (argc, argv)"))
+      in
+      classify_exit (exec_lfunc t lf argv_vals))
+
+(** Same entry protocol on the reference tree-walking engine. *)
+let run_reference ?(entry = "main") ?(args = [ "prog" ]) t =
+  t.use_lowered <- false;
+  classify_run t (fun () ->
+      let f = Prog.func t.prog entry in
+      let argv_vals =
+        match f.params with
+        | [] -> []
+        | [ _; _ ] ->
+            let argc, argv = setup_argv t args in
+            [ argc; argv ]
+        | _ -> raise (Vm_error (entry ^ ": entry point must take () or (argc, argv)"))
+      in
+      classify_exit (exec_func t f argv_vals))

@@ -1,11 +1,17 @@
 (** The interpreter: executes an IR program against the simulated memory
     subsystem, charging the {!Cost} model, dispatching external
-    functions, and classifying the run per {!Outcome}. *)
+    functions, and classifying the run per {!Outcome}.
+
+    Two engines share all VM state and agree bit-for-bit: the default
+    {b lowered} engine ({!run}) executes the pre-resolved threaded form
+    produced by {!Lower}, and the {b reference} tree-walking engine
+    ({!run_reference}) is kept as the executable specification the
+    differential tests compare against. *)
 
 open Dpmr_ir
 open Dpmr_memsim
 
-type value = I of int64 | F of float
+type value = Lower.value = I of int64 | F of float
 (** Runtime values: integers and pointers share [I]. *)
 
 exception Exit_program of int
@@ -18,6 +24,7 @@ exception Vm_error of string
 
 type t = {
   prog : Prog.t;
+  lprog : Lower.prog;  (** pre-resolved form executed by {!run} *)
   mem : Mem.t;
   alloc : Allocator.t;
   mutable sp : int64;
@@ -26,18 +33,26 @@ type t = {
   addr_fun : (int64, string) Hashtbl.t;
   mutable next_fun_addr : int64;
   out : Buffer.t;
-  mutable cost : int64;
-  mutable budget : int64;
+  mutable cost : int;
+  mutable budget : int;
   rng : Rng.t;
   externs : (string, extern) Hashtbl.t;
-  mutable fi_first_cost : int64 option;
+  extern_slots : extern option array;
+      (** per-VM resolution of the {!Lower.Lextern} call slots *)
+  mutable fi_first_cost : int option;
   mutable call_depth : int;
+  mutable use_lowered : bool;  (** engine selector for {!call_function} *)
 }
 
 and extern = t -> value list -> value option
 (** External functions receive the VM and the evaluated arguments. *)
 
-val create : ?seed:int64 -> ?budget:int64 -> Prog.t -> t
+(** Create a VM.  [lowered], when supplied, must be the result of
+    [Lower.lower_prog prog] for this very program — it lets callers that
+    run the same program many times lower it once; a mismatched or absent
+    [lowered] triggers a fresh lowering. *)
+val create : ?seed:int64 -> ?budget:int64 -> ?lowered:Lower.prog -> Prog.t -> t
+
 val register_extern : t -> string -> extern -> unit
 
 val add_cost : t -> int -> unit
@@ -51,10 +66,16 @@ val fun_address : t -> string -> int64
 
 val global_address : t -> string -> int64
 
-(** Call a defined function or a registered extern by name. *)
+(** Call a defined function or a registered extern by name, on whichever
+    engine the current run selected. *)
 val call_function : t -> string -> value list -> value option
 
 (** Run the entry point to completion and classify the result.  [main]
     may take [()] or [(argc, argv)]; in the latter case [args] is
-    materialized as C strings in simulated memory. *)
+    materialized as C strings in simulated memory.  Executes the lowered
+    threaded form. *)
 val run : ?entry:string -> ?args:string list -> t -> Outcome.run
+
+(** Same protocol on the reference tree-walking engine (the original
+    interpreter, kept as the executable specification). *)
+val run_reference : ?entry:string -> ?args:string list -> t -> Outcome.run

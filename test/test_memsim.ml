@@ -138,6 +138,77 @@ let prop_malloc_disjoint =
             ranges)
         ranges)
 
+(* qcheck: scalar access fidelity.  [read_int]/[write_int] have a
+   width-dispatched single-page fast path and a byte-at-a-time straddle
+   path; both must agree with the byte-level model for every width and
+   offset, including offsets that cross the page boundary. *)
+
+let prop_scalar_vs_bytes =
+  QCheck.Test.make ~name:"read_int/write_int match the byte-level model" ~count:200
+    QCheck.(
+      triple (int_range 0 8192) (oneofl [ 1; 2; 4; 8 ])
+        (map Int64.of_int (int_range 0 max_int)))
+    (fun (off, len, v) ->
+      let m = Mem.create () in
+      let base = Mem.heap_base in
+      Mem.map_range m base 16384 Mem.Fill_zero;
+      let addr = Int64.add base (Int64.of_int off) in
+      Mem.write_int m addr len v;
+      (* the write is little-endian: byte i of the value at addr+i *)
+      let bytes_agree =
+        List.for_all
+          (fun i ->
+            Mem.read_u8 m (Int64.add addr (Int64.of_int i))
+            = Int64.to_int
+                (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL))
+          (List.init len Fun.id)
+      in
+      (* and reading it back truncates to the width *)
+      let mask =
+        if len = 8 then -1L else Int64.sub (Int64.shift_left 1L (8 * len)) 1L
+      in
+      bytes_agree && Int64.equal (Mem.read_int m addr len) (Int64.logand v mask))
+
+let prop_two_page_interleave =
+  (* alternating writes to two distant pages thrash the one-entry page
+     cache; every value must still read back through the cache misses *)
+  QCheck.Test.make ~name:"interleaved two-page accesses survive the page cache"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 60) (pair (int_range 0 500) bool))
+    (fun writes ->
+      let m = Mem.create () in
+      let near = Mem.heap_base in
+      let far = Int64.add Mem.heap_base 0x10_0000L in
+      Mem.map_range m near 4096 Mem.Fill_zero;
+      Mem.map_range m far 4096 Mem.Fill_zero;
+      let expect = Hashtbl.create 16 in
+      List.iteri
+        (fun i (slot, which) ->
+          let addr =
+            Int64.add (if which then near else far) (Int64.of_int (slot * 8))
+          in
+          Mem.write_int m addr 8 (Int64.of_int i);
+          Hashtbl.replace expect addr (Int64.of_int i))
+        writes;
+      Hashtbl.fold
+        (fun addr v ok -> ok && Int64.equal (Mem.read_int m addr 8) v)
+        expect true)
+
+let prop_free_visible_through_cache =
+  (* free poisons the chunk payload by writing through the same memory;
+     a read that already cached the page must see the poison, not a
+     stale snapshot *)
+  QCheck.Test.make ~name:"free's poison is visible after a cached access" ~count:100
+    QCheck.(int_range 8 2048)
+    (fun n ->
+      let m, a = mk_alloc () in
+      let p = Allocator.malloc a n in
+      Mem.write_int m p 8 0x1122334455667788L;
+      let before = Mem.read_int m p 8 in
+      Allocator.free a p;
+      let after = Mem.read_int m p 8 in
+      Int64.equal before 0x1122334455667788L && not (Int64.equal after before))
+
 let prop_free_then_malloc_same_class =
   QCheck.Test.make ~name:"free then same-size malloc reuses memory" ~count:50
     QCheck.(int_range 1 1024)
@@ -155,7 +226,9 @@ let suites =
         Alcotest.test_case "unmapped access faults" `Quick test_unmapped_faults;
         Alcotest.test_case "page-straddling access" `Quick test_straddling_access;
         Alcotest.test_case "deterministic garbage" `Quick test_garbage_is_deterministic;
-      ] );
+      ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [ prop_scalar_vs_bytes; prop_two_page_interleave ] );
     ( "memsim.allocator",
       [
         Alcotest.test_case "size-class rounding" `Quick test_malloc_rounds_up;
@@ -168,5 +241,9 @@ let suites =
         Alcotest.test_case "stats" `Quick test_stats;
       ]
       @ List.map QCheck_alcotest.to_alcotest
-          [ prop_malloc_disjoint; prop_free_then_malloc_same_class ] );
+          [
+            prop_malloc_disjoint;
+            prop_free_visible_through_cache;
+            prop_free_then_malloc_same_class;
+          ] );
   ]
