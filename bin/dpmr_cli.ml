@@ -8,7 +8,10 @@
     - [dpmr recover <workload>] — inject, detect, recover Rx-style;
     - [dpmr report <id>|all] — regenerate a paper table/figure, in
       parallel and backed by the result cache ([--jobs]/[--no-cache]);
-    - [dpmr cache stats|clear] — inspect or wipe the result cache;
+      supervised runs accept [--deadline] and chaos injection
+      ([--chaos]/[DPMR_CHAOS]);
+    - [dpmr cache stats|verify|clear] — inspect, check or wipe the
+      result cache ([verify] exits nonzero on damage);
     - [dpmr list] — list workloads and experiment ids. *)
 
 open Cmdliner
@@ -22,6 +25,8 @@ module Figures = Dpmr_harness.Figures
 module Engine = Dpmr_engine.Engine
 module Cache = Dpmr_engine.Cache
 module Job = Dpmr_engine.Job
+module Chaos = Dpmr_engine.Chaos
+module Supervisor = Dpmr_engine.Supervisor
 
 (* ---- shared options ---- *)
 
@@ -283,9 +288,39 @@ let report_cmd =
     Arg.(value & opt int 1 & info [ "reps" ] ~docv:"N"
            ~doc:"Repetitions per injection with distinct seeds (the RN dimension).")
   in
-  let go id scale seed reps jobs no_cache =
+  let chaos_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"P[,SEED]"
+          ~doc:
+            "Deterministically inject faults into the engine's own workers and \
+             cache writes with probability $(docv) (0 disables; overrides \
+             DPMR_CHAOS).  Output must survive unchanged.")
+  in
+  let deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Per-attempt wall-clock deadline for supervised jobs (0 = none).")
+  in
+  let go id scale seed reps jobs no_cache chaos deadline =
+    (match chaos with
+    | None -> () (* DPMR_CHAOS, if set, still applies via Chaos.active *)
+    | Some "0" -> Chaos.set None
+    | Some s -> (
+        match Chaos.parse s with
+        | Some c -> Chaos.set (Some c)
+        | None -> die "bad --chaos %S (want P or P,SEED with 0 < P <= 1)" s));
+    let policy =
+      match deadline with
+      | None -> Supervisor.default_policy
+      | Some d when d <= 0. -> { Supervisor.default_policy with Supervisor.deadline = None }
+      | Some d -> { Supervisor.default_policy with Supervisor.deadline = Some d }
+    in
     let jobs = if jobs <= 0 then Engine.default_jobs () else jobs in
-    let engine = Engine.create ~jobs ~use_cache:(not no_cache) () in
+    let engine = Engine.create ~jobs ~use_cache:(not no_cache) ~policy () in
     let ctx = Figures.create ~scale ~seed ~reps ~engine () in
     (if id = "all" then Figures.run_all ctx
      else if List.mem id Figures.ids then Figures.run ctx id
@@ -294,28 +329,46 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate a paper table/figure (or 'all').")
-    Term.(const go $ id_t $ scale_t $ seed_t $ reps_t $ jobs_t $ no_cache_t)
+    Term.(
+      const go $ id_t $ scale_t $ seed_t $ reps_t $ jobs_t $ no_cache_t $ chaos_t
+      $ deadline_t)
 
 let cache_cmd =
   let action_t =
-    Arg.(required & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear) ])) None
-         & info [] ~docv:"stats|clear")
+    Arg.(required
+         & pos 0 (some (enum [ ("stats", `Stats); ("verify", `Verify); ("clear", `Clear) ])) None
+         & info [] ~docv:"stats|verify|clear")
+  in
+  let print_disk_stats (s : Cache.disk_stats) =
+    Printf.printf "file    : %s\n" s.Cache.path;
+    Printf.printf "entries : %d (%d current, %d stale-salt)\n" s.Cache.total
+      s.Cache.current s.Cache.stale;
+    Printf.printf "damaged : %d line(s)%s\n" s.Cache.damaged
+      (if s.Cache.torn_tail then " + torn tail" else "");
+    Printf.printf "size    : %d bytes\n" s.Cache.bytes;
+    Printf.printf "salt    : %s\n" Job.default_salt
   in
   let go action =
     match action with
-    | `Stats ->
+    | `Stats -> print_disk_stats (Cache.disk_stats ~salt:Job.default_salt ())
+    | `Verify ->
+        (* read-only integrity check: nonzero exit when any line fails
+           CRC/format validation or the tail is torn (the next engine run
+           would repair it; verify only reports) *)
         let s = Cache.disk_stats ~salt:Job.default_salt () in
-        Printf.printf "file    : %s\n" s.Cache.path;
-        Printf.printf "entries : %d (%d current, %d stale-salt)\n" s.Cache.total
-          s.Cache.current s.Cache.stale;
-        Printf.printf "size    : %d bytes\n" s.Cache.bytes;
-        Printf.printf "salt    : %s\n" Job.default_salt
+        print_disk_stats s;
+        if s.Cache.damaged > 0 || s.Cache.torn_tail then begin
+          Printf.printf "verdict : DAMAGED (a supervised run will repair on load)\n";
+          exit 1
+        end
+        else Printf.printf "verdict : clean\n"
     | `Clear ->
         let n = Cache.clear () in
         Printf.printf "removed %d cached result(s)\n" n
   in
   Cmd.v
-    (Cmd.info "cache" ~doc:"Inspect (stats) or wipe (clear) the content-addressed result cache.")
+    (Cmd.info "cache"
+       ~doc:"Inspect (stats), integrity-check (verify) or wipe (clear) the result cache.")
     Term.(const go $ action_t)
 
 let list_cmd =

@@ -1,63 +1,163 @@
-(** Content-addressed result cache.
+(** Content-addressed, crash-durable result cache.
 
     Classifications are persisted as line-delimited JSON in
-    [_dpmr_cache/results.jsonl].  Every line carries the code-version
-    salt it was produced under; on load, lines with a stale salt are
-    evicted (dropped and counted), and the file is compacted when the
-    eviction ratio warrants it.  Corrupt lines are silently skipped —
-    a damaged cache degrades to misses, never to wrong results. *)
+    [_dpmr_cache/results.jsonl].  Durability against process death is
+    the design center:
+
+    - every record is framed with a CRC32 of its payload, so garbage
+      bytes, merged lines and bit flips are detected, not parsed;
+    - a torn tail (a record cut short by a crash mid-append) is dropped
+      and counted on load, and the file is repaired so later appends
+      cannot merge into the torn bytes;
+    - the channel is flushed and fsync'd every [flush_every] added
+      records, so an interrupted campaign resumes from the last flushed
+      record instead of restarting;
+    - compaction (dropping stale-salt and damaged lines) writes to
+      [results.jsonl.tmp] and renames over the original — a crash
+      mid-compaction leaves the old file intact.
+
+    Damage of any kind degrades to misses and is counted in {!stats};
+    it is never an error and never a wrong result. *)
 
 module Experiment = Dpmr_fi.Experiment
 
 let default_dir = "_dpmr_cache"
 let file_of dir = Filename.concat dir "results.jsonl"
+let tmp_of dir = file_of dir ^ ".tmp"
+let default_flush_every = 64
 
-type stats = { mutable hits : int; mutable misses : int; mutable evicted : int; mutable added : int }
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evicted : int;
+  mutable damaged : int;
+  mutable added : int;
+}
 
 type t = {
   dir : string;
   salt : string;
+  flush_every : int;
+  mutable since_flush : int;
   tbl : (string, Experiment.classification) Hashtbl.t;
   stats : stats;
   mutable chan : out_channel option;
   mu : Mutex.t;
 }
 
-let read_lines path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let rec go acc =
-      match input_line ic with
-      | line -> go (line :: acc)
-      | exception End_of_file -> close_in ic; List.rev acc
-    in
-    go []
-  end
+(* ---------------- CRC32 (IEEE 802.3) record framing ---------------- *)
 
-let load ?(dir = default_dir) ~salt () =
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+  !c lxor 0xffffffff
+
+(* A framed line is the payload object with a leading fixed-width crc
+   field: [{"crc":"xxxxxxxx",<payload minus its '{'>]. The offset is
+   constant, so unframing is two substring operations — and the result
+   is still one flat JSON object. *)
+let crc_prefix = "{\"crc\":\""
+let crc_prefix_len = String.length crc_prefix + 8 + 2 (* ..."xxxxxxxx", *)
+
+let frame payload =
+  Printf.sprintf "%s%08x\",%s" crc_prefix (crc32 payload)
+    (String.sub payload 1 (String.length payload - 1))
+
+let unframe line =
+  let n = String.length line in
+  if n <= crc_prefix_len || not (String.starts_with ~prefix:crc_prefix line) then None
+  else if not (line.[crc_prefix_len - 2] = '"' && line.[crc_prefix_len - 1] = ',') then None
+  else
+    match int_of_string_opt ("0x" ^ String.sub line 8 8) with
+    | None -> None
+    | Some crc ->
+        let payload = "{" ^ String.sub line crc_prefix_len (n - crc_prefix_len) in
+        if crc32 payload = crc then Some payload else None
+
+type decoded = Entry of Job.entry | Damaged
+
+let decode line =
+  match unframe line with
+  | None -> Damaged
+  | Some payload -> (
+      match Job.entry_of_line payload with Some e -> Entry e | None -> Damaged)
+
+(* ---------------- raw file access ---------------- *)
+
+(** Complete lines plus whether the file ends in a torn (newline-less)
+    record — [input_line] cannot make that distinction. *)
+let read_raw path =
+  if not (Sys.file_exists path) then ([], false)
+  else
+    let content = In_channel.with_open_bin path In_channel.input_all in
+    if content = "" then ([], false)
+    else
+      let parts = String.split_on_char '\n' content in
+      let rec split acc = function
+        | [ last ] -> (List.rev acc, last <> "")
+        | x :: rest -> split (x :: acc) rest
+        | [] -> (List.rev acc, false)
+      in
+      split [] parts
+
+let sync_channel oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+(** Atomic rewrite: temp file, fsync, rename.  A crash at any point
+    leaves either the old file or the complete new one. *)
+let compact ~dir lines =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let tmp = tmp_of dir in
+  let oc = open_out tmp in
+  List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+  sync_channel oc;
+  close_out oc;
+  Sys.rename tmp (file_of dir)
+
+(* ---------------- load / lookup / append ---------------- *)
+
+let load ?(dir = default_dir) ?(flush_every = default_flush_every) ~salt () =
   let tbl = Hashtbl.create 256 in
-  let stats = { hits = 0; misses = 0; evicted = 0; added = 0 } in
+  let stats = { hits = 0; misses = 0; evicted = 0; damaged = 0; added = 0 } in
+  let lines, torn = read_raw (file_of dir) in
   let live = ref [] in
   List.iter
     (fun line ->
-      match Job.entry_of_line line with
-      | None -> ()
-      | Some e ->
+      match decode line with
+      | Damaged -> stats.damaged <- stats.damaged + 1
+      | Entry e ->
           if e.Job.salt = salt then begin
             Hashtbl.replace tbl e.Job.key e.Job.cls;
             live := line :: !live
           end
           else stats.evicted <- stats.evicted + 1)
-    (read_lines (file_of dir));
-  (* compact: rewrite without the evicted (stale-salt) lines *)
-  if stats.evicted > 0 then begin
-    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
-    let oc = open_out (file_of dir) in
-    List.iter (fun l -> output_string oc l; output_char oc '\n') (List.rev !live);
-    close_out oc
-  end;
-  { dir; salt; tbl; stats; chan = None; mu = Mutex.create () }
+    lines;
+  if torn then stats.damaged <- stats.damaged + 1;
+  (* repair + compact: drop stale-salt and damaged lines, truncate the
+     torn tail so the next append cannot merge into it *)
+  if (stats.evicted > 0 || stats.damaged > 0) && Sys.file_exists (file_of dir) then
+    compact ~dir (List.rev !live);
+  {
+    dir;
+    salt;
+    flush_every = max 1 flush_every;
+    since_flush = 0;
+    tbl;
+    stats;
+    chan = None;
+    mu = Mutex.create ();
+  }
 
 let entries t = Hashtbl.length t.tbl
 
@@ -87,14 +187,31 @@ let add t ~key ~spec_repr cls =
       if not (Hashtbl.mem t.tbl key) then begin
         Hashtbl.replace t.tbl key cls;
         t.stats.added <- t.stats.added + 1;
-        let line = Job.entry_to_line { Job.key; salt = t.salt; spec_repr; cls } in
+        let line =
+          frame (Job.entry_to_line { Job.key; salt = t.salt; spec_repr; cls }) ^ "\n"
+        in
         let oc = channel t in
-        output_string oc line;
-        output_char oc '\n'
+        (match Chaos.truncation ~key ~len:(String.length line) with
+        | None -> output_string oc line
+        | Some n ->
+            (* chaos: tear this append mid-record; the CRC frame turns
+               it (and any line it merges with) into a counted miss on
+               the next load *)
+            output_substring oc line 0 n);
+        t.since_flush <- t.since_flush + 1;
+        if t.since_flush >= t.flush_every then begin
+          sync_channel oc;
+          t.since_flush <- 0
+        end
       end)
 
 let flush t =
-  Mutex.protect t.mu (fun () -> match t.chan with Some oc -> flush oc | None -> ())
+  Mutex.protect t.mu (fun () ->
+      match t.chan with
+      | Some oc ->
+          sync_channel oc;
+          t.since_flush <- 0
+      | None -> ())
 
 let close t =
   Mutex.protect t.mu (fun () ->
@@ -110,30 +227,43 @@ let stats t = t.stats
 
 let clear ?(dir = default_dir) () =
   let path = file_of dir in
-  let lines = read_lines path in
-  let n = List.fold_left (fun n l -> if Job.entry_of_line l = None then n else n + 1) 0 lines in
+  let lines, _torn = read_raw path in
+  let n =
+    List.fold_left (fun n l -> match decode l with Entry _ -> n + 1 | Damaged -> n) 0 lines
+  in
+  if Sys.file_exists (tmp_of dir) then Sys.remove (tmp_of dir);
   if Sys.file_exists path then Sys.remove path;
   (try Sys.rmdir dir with Sys_error _ -> ());
   n
 
 type disk_stats = {
   path : string;
-  total : int;  (** well-formed entries on disk *)
+  total : int;  (** intact entries on disk *)
   current : int;  (** entries under the given salt *)
   stale : int;  (** entries under any other salt *)
+  damaged : int;  (** torn, corrupt or CRC-mismatched lines *)
+  torn_tail : bool;  (** the file ends in an unterminated record *)
   bytes : int;
 }
 
 let disk_stats ?(dir = default_dir) ~salt () =
   let path = file_of dir in
-  let lines = read_lines path in
-  let total, current =
+  let lines, torn = read_raw path in
+  let total, current, damaged =
     List.fold_left
-      (fun (t, c) l ->
-        match Job.entry_of_line l with
-        | None -> (t, c)
-        | Some e -> (t + 1, if e.Job.salt = salt then c + 1 else c))
-      (0, 0) lines
+      (fun (t, c, d) l ->
+        match decode l with
+        | Damaged -> (t, c, d + 1)
+        | Entry e -> (t + 1, (if e.Job.salt = salt then c + 1 else c), d))
+      (0, 0, 0) lines
   in
   let bytes = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0 in
-  { path; total; current; stale = total - current; bytes }
+  {
+    path;
+    total;
+    current;
+    stale = total - current;
+    damaged = (damaged + if torn then 1 else 0);
+    torn_tail = torn;
+    bytes;
+  }

@@ -1,7 +1,12 @@
-(** Content-addressed result cache: classifications persisted as
-    line-delimited JSON under [_dpmr_cache/], keyed by [Job.hash].
-    Stale-salt lines are evicted on load; corrupt lines degrade to
-    misses. *)
+(** Content-addressed, crash-durable result cache: classifications
+    persisted as CRC32-framed line-delimited JSON under [_dpmr_cache/],
+    keyed by [Job.hash].
+
+    Crash durability: records are flushed and fsync'd every
+    [flush_every] appends; a torn tail is dropped, counted and repaired
+    on load; compaction is atomic (temp file + rename).  Stale-salt
+    lines are evicted on load; damage of any kind degrades to counted
+    misses, never to wrong or lost-beyond-the-tail results. *)
 
 module Experiment = Dpmr_fi.Experiment
 
@@ -11,40 +16,53 @@ val default_dir : string
 val file_of : string -> string
 (** The jsonl path inside a cache directory. *)
 
+val default_flush_every : int
+(** 64: records between fsync'd flushes of the append channel. *)
+
 type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable evicted : int;  (** stale-salt lines dropped on load *)
+  mutable damaged : int;  (** torn/corrupt/CRC-mismatched lines dropped on load *)
   mutable added : int;
 }
 
 type t
 
-val load : ?dir:string -> salt:string -> unit -> t
-(** Load the cache, evicting (and compacting away) entries recorded
-    under a different code-version salt. *)
+val load : ?dir:string -> ?flush_every:int -> salt:string -> unit -> t
+(** Load the cache: evict stale-salt entries, drop damaged lines, and —
+    when anything was dropped or the tail was torn — repair the file by
+    atomic compaction. *)
 
 val entries : t -> int
+
 val find : t -> string -> Experiment.classification option
 (** Lookup by content hash; counts a hit or a miss. *)
 
 val add : t -> key:string -> spec_repr:string -> Experiment.classification -> unit
 (** Insert and append to the on-disk file (no-op if the key is already
-    present). *)
+    present).  Every [flush_every]-th append flushes and fsyncs. *)
 
 val flush : t -> unit
+(** Flush and fsync the append channel. *)
+
 val close : t -> unit
 val stats : t -> stats
 
 val clear : ?dir:string -> unit -> int
-(** Delete the cache file; returns the number of entries removed. *)
+(** Delete the cache file (and any compaction temp file); returns the
+    number of intact entries removed. *)
 
 type disk_stats = {
   path : string;
-  total : int;  (** well-formed entries on disk *)
+  total : int;  (** intact entries on disk *)
   current : int;  (** entries under the given salt *)
-  stale : int;
+  stale : int;  (** entries under any other salt *)
+  damaged : int;  (** torn, corrupt or CRC-mismatched lines *)
+  torn_tail : bool;  (** the file ends in an unterminated record *)
   bytes : int;
 }
 
 val disk_stats : ?dir:string -> salt:string -> unit -> disk_stats
+(** Scan the file without loading it (the [cache stats] / [cache
+    verify] CLI view).  Read-only: performs no repair. *)

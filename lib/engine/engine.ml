@@ -22,19 +22,28 @@ type t = {
   salt : string;
   cache : Cache.t option;
   telemetry : Telemetry.t;
+  supervisor : Supervisor.t;
   progress : bool;
 }
 
 let default_jobs () = Pool.default_size ()
 
 let create ?jobs ?(use_cache = true) ?(cache_dir = Cache.default_dir)
-    ?(salt = Job.default_salt) ?(progress = true) () =
+    ?(salt = Job.default_salt) ?policy ?(progress = true) () =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let cache = if use_cache then Some (Cache.load ~dir:cache_dir ~salt ()) else None in
-  { jobs; salt; cache; telemetry = Telemetry.create (); progress }
+  {
+    jobs;
+    salt;
+    cache;
+    telemetry = Telemetry.create ();
+    supervisor = Supervisor.create ?policy ();
+    progress;
+  }
 
 let jobs t = t.jobs
 let telemetry t = t.telemetry
+let supervisor t = t.supervisor
 let cache_stats t = Option.map Cache.stats t.cache
 
 (* ---------------- per-domain experiment contexts ---------------- *)
@@ -83,7 +92,7 @@ let progress_fn t n =
 
 (* ---------------- batch execution ---------------- *)
 
-let run_specs t specs =
+let run_specs_r t specs =
   match specs with
   | [] -> []
   | _ ->
@@ -104,37 +113,68 @@ let run_specs t specs =
           | None -> (
               let cached = match t.cache with Some c -> Cache.find c key | None -> None in
               match cached with
-              | Some cls -> results.(i) <- Some cls
+              | Some cls -> results.(i) <- Some (Experiment.Run cls)
               | None ->
                   Hashtbl.replace missing key (spec, [ i ]);
                   order := key :: !order))
         keyed;
       let cached_count = n - List.fold_left (fun a k -> a + List.length (snd (Hashtbl.find missing k))) 0 !order in
       Telemetry.record_cached t.telemetry cached_count;
+      let retries_before = Supervisor.retries t.supervisor in
       let to_run = List.rev_map (fun key -> (key, fst (Hashtbl.find missing key))) !order in
       let ran =
+        (* every job runs under supervision: deadline, retry-with-backoff
+           for transient failures, quarantine for deterministic ones — a
+           failure fills its own slots and cannot abort the batch *)
         Pool.map ?progress:(progress_fn t (List.length to_run)) ~jobs:t.jobs
           (fun (key, spec) ->
             let t1 = Telemetry.now () in
-            let cls = execute spec in
-            ((key, spec), cls, Telemetry.now () -. t1))
+            let r = Supervisor.run t.supervisor ~key (fun () -> execute spec) in
+            ((key, spec), r, Telemetry.now () -. t1))
           to_run
       in
       List.iter
-        (fun ((key, spec), cls, wall) ->
-          Telemetry.record_job t.telemetry ~wall ~cost:cls.Experiment.cost;
-          (match t.cache with
-          | Some c -> Cache.add c ~key ~spec_repr:(Job.repr spec) cls
-          | None -> ());
+        (fun ((key, spec), r, wall) ->
+          let result =
+            match r with
+            | Ok cls ->
+                Telemetry.record_job t.telemetry ~wall ~cost:cls.Experiment.cost;
+                (match t.cache with
+                | Some c -> Cache.add c ~key ~spec_repr:(Job.repr spec) cls
+                | None -> ());
+                Experiment.Run cls
+            | Error (fl : Supervisor.failure) ->
+                Telemetry.record_failed t.telemetry ~wall;
+                Experiment.Job_failed
+                  {
+                    Experiment.fail_reason = Supervisor.reason_name fl.Supervisor.freason;
+                    fail_attempts = fl.Supervisor.fattempts;
+                    fail_error = fl.Supervisor.ferror;
+                  }
+          in
           let _, idxs = Hashtbl.find missing key in
-          List.iter (fun i -> results.(i) <- Some cls) idxs)
+          List.iter (fun i -> results.(i) <- Some result) idxs)
         ran;
+      Telemetry.record_retries t.telemetry (Supervisor.retries t.supervisor - retries_before);
       Option.iter Cache.flush t.cache;
       Telemetry.record_batch t.telemetry ~wall:(Telemetry.now () -. t0);
       Array.to_list results
       |> List.map (function
-           | Some cls -> cls
-           | None -> failwith "Engine.run_specs: missing result")
+           | Some r -> r
+           | None -> failwith "Engine.run_specs_r: missing result")
+
+(** The historical strict interface: callers that cannot represent holes
+    get the first failure as an exception — after the whole batch ran,
+    so completed results are already persisted in the cache. *)
+let run_specs t specs =
+  List.map
+    (function
+      | Experiment.Run cls -> cls
+      | Experiment.Job_failed f ->
+          failwith
+            (Printf.sprintf "Engine.run_specs: job failed (%s after %d attempt(s): %s)"
+               f.Experiment.fail_reason f.Experiment.fail_attempts f.Experiment.fail_error))
+    (run_specs_r t specs)
 
 let run_spec t spec = List.hd (run_specs t [ spec ])
 

@@ -18,20 +18,31 @@ val create :
   ?use_cache:bool ->
   ?cache_dir:string ->
   ?salt:string ->
+  ?policy:Supervisor.policy ->
   ?progress:bool ->
   unit ->
   t
 (** [jobs] defaults to [default_jobs ()]; [use_cache] defaults to [true]
     (directory [Cache.default_dir]); [salt] defaults to
-    [Job.default_salt]; [progress] prints batch progress to stderr on
-    long grids. *)
+    [Job.default_salt]; [policy] is the supervision policy (deadline /
+    retry / backoff, default [Supervisor.default_policy]); [progress]
+    prints batch progress to stderr on long grids. *)
 
 val jobs : t -> int
 val telemetry : t -> Telemetry.t
+val supervisor : t -> Supervisor.t
 val cache_stats : t -> Cache.stats option
 
+val run_specs_r : t -> Job.spec list -> Experiment.run_result list
+(** Run a batch under supervision; the i-th result answers the i-th
+    spec.  A job the supervisor gave up on (deadline, fatal exception,
+    retries exhausted, quarantined) yields [Job_failed] in its own
+    slots; the rest of the batch completes and is cached normally. *)
+
 val run_specs : t -> Job.spec list -> Experiment.classification list
-(** Run a batch; the i-th classification answers the i-th spec. *)
+(** [run_specs_r] for callers that cannot represent holes: raises
+    [Failure] on the first failed job — after the whole batch ran, so
+    completed results are already persisted. *)
 
 val run_spec : t -> Job.spec -> Experiment.classification
 

@@ -7,13 +7,18 @@
 
 let default_size () = Domain.recommended_domain_count ()
 
-let map ?progress ~jobs f xs =
+let map_results ?progress ~jobs f xs =
   let n = List.length xs in
   let jobs = max 1 (min jobs n) in
   if jobs <= 1 then
     List.mapi
       (fun i x ->
-        let r = f x in
+        let r =
+          try Ok (f x)
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Error (e, bt)
+        in
         (match progress with Some p -> p ~done_:(i + 1) ~total:n | None -> ());
         r)
       xs
@@ -32,7 +37,12 @@ let map ?progress ~jobs f xs =
               i)
         in
         if i < n then begin
-          let r = try Ok (f input.(i)) with e -> Error e in
+          let r =
+            try Ok (f input.(i))
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              Error (e, bt)
+          in
           (* distinct slots: no lock needed for the write itself *)
           results.(i) <- Some r;
           Mutex.protect mu (fun () ->
@@ -47,7 +57,17 @@ let map ?progress ~jobs f xs =
     List.iter Domain.join domains;
     Array.to_list results
     |> List.map (function
-         | Some (Ok r) -> r
-         | Some (Error e) -> raise e
-         | None -> failwith "Pool.map: missing result")
+         | Some r -> r
+         | None -> failwith "Pool.map_results: missing result")
   end
+
+(* One job raising no longer discards the other N−1 results: callers
+   that can degrade per-slot use [map_results]; [map] keeps the
+   raise-on-first-error contract but now rethrows on the joining domain
+   with the worker's backtrace attached. *)
+let map ?progress ~jobs f xs =
+  List.map
+    (function
+      | Ok r -> r
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    (map_results ?progress ~jobs f xs)

@@ -3,18 +3,30 @@
 val default_size : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val map_results :
+  ?progress:(done_:int -> total:int -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn * Printexc.raw_backtrace) result list
+(** [map_results ~jobs f xs] applies [f] to every element using [jobs]
+    worker domains (clamped to [1 .. length xs]); the i-th slot holds
+    the i-th element's result regardless of completion order.  A raising
+    job yields [Error (exn, backtrace)] in its own slot and never
+    discards the other slots — the property the campaign supervisor
+    builds on.  [jobs <= 1] degenerates to a plain sequential map with
+    no domain spawned.  [f] must not share mutable state across calls —
+    in particular it must not touch a [Prog.t] built outside itself
+    (programs carry internal caches).  [progress] is called under the
+    pool lock after each completion. *)
+
 val map :
   ?progress:(done_:int -> total:int -> unit) ->
   jobs:int ->
   ('a -> 'b) ->
   'a list ->
   'b list
-(** [map ~jobs f xs] applies [f] to every element using [jobs] worker
-    domains (clamped to [1 .. length xs]); results are returned in input
-    order regardless of completion order.  [jobs <= 1] degenerates to a
-    plain sequential map with no domain spawned.  [f] must not share
-    mutable state across calls — in particular it must not touch a
-    [Prog.t] built outside itself (programs carry internal caches).  The
-    first exception raised by [f], in input order, is re-raised after all
-    workers finish.  [progress] is called under the pool lock after each
-    completion. *)
+(** [map_results] with the historical contract: after all workers
+    finish, the first error in input order is re-raised on the joining
+    domain with the worker's backtrace preserved
+    ([Printexc.raise_with_backtrace]). *)

@@ -4,6 +4,8 @@
 type t = {
   mutable jobs_run : int;  (** specs actually executed *)
   mutable jobs_cached : int;  (** specs served from the result cache *)
+  mutable jobs_failed : int;  (** specs the supervisor gave up on *)
+  mutable retries : int;  (** supervised attempts beyond each job's first *)
   mutable tasks_run : int;  (** uncached ad-hoc tasks ([Engine.run_tasks]) *)
   mutable cost_units : int64;  (** simulated cost consumed by executed jobs *)
   mutable busy_seconds : float;  (** sum of per-job wall times *)
@@ -16,6 +18,8 @@ let create () =
   {
     jobs_run = 0;
     jobs_cached = 0;
+    jobs_failed = 0;
+    retries = 0;
     tasks_run = 0;
     cost_units = 0L;
     busy_seconds = 0.;
@@ -39,6 +43,13 @@ let record_task t ~wall =
 
 let record_cached t n = Mutex.protect t.mu (fun () -> t.jobs_cached <- t.jobs_cached + n)
 
+let record_failed t ~wall =
+  Mutex.protect t.mu (fun () ->
+      t.jobs_failed <- t.jobs_failed + 1;
+      t.busy_seconds <- t.busy_seconds +. wall)
+
+let record_retries t n = Mutex.protect t.mu (fun () -> t.retries <- t.retries + n)
+
 let record_batch t ~wall =
   Mutex.protect t.mu (fun () ->
       t.batches <- t.batches + 1;
@@ -52,10 +63,16 @@ let speedup_estimate t =
   else None
 
 let summary_lines t ~workers ~(cache : Cache.stats option) =
-  let total = t.jobs_run + t.jobs_cached in
+  let total = t.jobs_run + t.jobs_cached + t.jobs_failed in
+  let degraded =
+    (* only surfaced when the supervisor actually intervened, so healthy
+       runs keep the historical summary shape *)
+    if t.jobs_failed = 0 && t.retries = 0 then ""
+    else Printf.sprintf ", %d failed, %d retrie(s)" t.jobs_failed t.retries
+  in
   let first =
-    Printf.sprintf "[engine] %d jobs (%d run, %d cached), %d task(s), workers=%d" total
-      t.jobs_run t.jobs_cached t.tasks_run workers
+    Printf.sprintf "[engine] %d jobs (%d run, %d cached%s), %d task(s), workers=%d" total
+      t.jobs_run t.jobs_cached degraded t.tasks_run workers
   in
   let cache_line =
     match cache with
@@ -63,8 +80,12 @@ let summary_lines t ~workers ~(cache : Cache.stats option) =
     | Some s ->
         let looked = s.Cache.hits + s.Cache.misses in
         let pct = if looked = 0 then 0. else 100. *. float_of_int s.Cache.hits /. float_of_int looked in
-        Printf.sprintf "[engine] cache: %d hits / %d lookups (%.1f%%), %d added, %d evicted"
-          s.Cache.hits looked pct s.Cache.added s.Cache.evicted
+        let damage =
+          if s.Cache.damaged = 0 then ""
+          else Printf.sprintf ", %d damaged" s.Cache.damaged
+        in
+        Printf.sprintf "[engine] cache: %d hits / %d lookups (%.1f%%), %d added, %d evicted%s"
+          s.Cache.hits looked pct s.Cache.added s.Cache.evicted damage
   in
   let time_line =
     let speed =

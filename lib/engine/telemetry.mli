@@ -4,6 +4,8 @@
 type t = {
   mutable jobs_run : int;
   mutable jobs_cached : int;
+  mutable jobs_failed : int;  (** specs the supervisor gave up on *)
+  mutable retries : int;  (** supervised attempts beyond each job's first *)
   mutable tasks_run : int;
   mutable cost_units : int64;
   mutable busy_seconds : float;  (** sum of per-job wall times *)
@@ -17,6 +19,8 @@ val now : unit -> float
 val record_job : t -> wall:float -> cost:int64 -> unit
 val record_task : t -> wall:float -> unit
 val record_cached : t -> int -> unit
+val record_failed : t -> wall:float -> unit
+val record_retries : t -> int -> unit
 val record_batch : t -> wall:float -> unit
 
 val speedup_estimate : t -> float option

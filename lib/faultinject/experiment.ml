@@ -35,6 +35,21 @@ type classification = {
   peak_heap : int;
 }
 
+(** What a supervised campaign records for one requested run: either a
+    real classification, or an explicit hole.  A job the engine's
+    supervisor gave up on (deadline, quarantine, retries exhausted) is
+    carried through to the figures as [Job_failed] — a marked gap in the
+    table, never a silent drop and never a batch abort. *)
+type job_failure = {
+  fail_reason : string;  (** supervisor classification, e.g. ["deadline"] *)
+  fail_attempts : int;
+  fail_error : string;  (** rendering of the last exception *)
+}
+
+type run_result = Run of classification | Job_failed of job_failure
+
+let result_classification = function Run c -> Some c | Job_failed _ -> None
+
 (** A variant's program, built and lowered once per {!prepare} call: the
     injection and DPMR transformation passes — and the VM's lowering —
     depend only on the variant, not on the run seed, so callers that

@@ -32,6 +32,20 @@ type classification = {
   peak_heap : int;
 }
 
+(** One requested run of a supervised campaign: a real classification,
+    or an explicit hole for a job the supervisor gave up on (deadline,
+    quarantine, retries exhausted).  Figures render [Job_failed] as a
+    marked gap — never a silent drop, never a batch abort. *)
+type job_failure = {
+  fail_reason : string;  (** supervisor classification, e.g. ["deadline"] *)
+  fail_attempts : int;
+  fail_error : string;  (** rendering of the last exception *)
+}
+
+type run_result = Run of classification | Job_failed of job_failure
+
+val result_classification : run_result -> classification option
+
 (** A variant's program, built and lowered once per {!prepare} call;
     callers that rerun a variant (reps, run-seed sweeps) reuse the
     result rather than rebuilding. *)

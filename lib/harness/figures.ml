@@ -25,7 +25,7 @@ type ctx = {
   experiments : (string, Experiment.t) Hashtbl.t;
       (** main-domain contexts, for site enumeration and golden baselines
           (worker domains build their own — see [Engine]) *)
-  class_cache : (string, Experiment.classification list) Hashtbl.t;
+  class_cache : (string, Experiment.run_result list) Hashtbl.t;
   snad_cache : (string, bool list) Hashtbl.t;  (** StdNotAllDet per site *)
 }
 
@@ -144,7 +144,8 @@ let nofi_cell ctx app cfg =
   { ckey; specs }
 
 (** Run every not-yet-memoized cell through the engine as one batch and
-    memoize the per-cell classification lists. *)
+    memoize the per-cell result lists (holes included, so positional
+    site x rep alignment survives failed jobs). *)
 let ensure ctx cells =
   let pending =
     List.filter (fun c -> c.specs <> [] && not (Hashtbl.mem ctx.class_cache c.ckey)) cells
@@ -161,7 +162,7 @@ let ensure ctx cells =
         end)
       pending
   in
-  let results = Engine.run_specs ctx.engine (List.concat_map (fun c -> c.specs) pending) in
+  let results = Engine.run_specs_r ctx.engine (List.concat_map (fun c -> c.specs) pending) in
   let rec split cells results =
     match cells with
     | [] -> ()
@@ -174,20 +175,38 @@ let ensure ctx cells =
   in
   split pending results
 
-let cell_classes ctx cell =
+let cell_results ctx cell =
   ensure ctx [ cell ];
   Hashtbl.find ctx.class_cache cell.ckey
 
-let stdapp_classes ctx app kind = cell_classes ctx (stdapp_cell ctx app kind)
-let dpmr_classes ctx app kind cfg = cell_classes ctx (dpmr_cell ctx app kind cfg)
+(** Classifications of the runs that completed. *)
+let ok_of rs = List.filter_map Experiment.result_classification rs
 
-(** (runtime, memory) overhead ratios of a configuration, engine-cached. *)
+(** Number of holes ([Job_failed]) in a result list. *)
+let failed_of rs =
+  List.fold_left
+    (fun n -> function Experiment.Job_failed _ -> n + 1 | Experiment.Run _ -> n)
+    0 rs
+
+let stdapp_results ctx app kind = cell_results ctx (stdapp_cell ctx app kind)
+let dpmr_results ctx app kind cfg = cell_results ctx (dpmr_cell ctx app kind cfg)
+
+(** (runtime, memory) overhead ratios of a configuration, engine-cached;
+    [None] when the supervised run failed (hole in the table). *)
 let overheads ctx app cfg =
-  let c = List.hd (cell_classes ctx (nofi_cell ctx app cfg)) in
-  Experiment.overheads_of_classification (experiment ctx app) c
+  match cell_results ctx (nofi_cell ctx app cfg) with
+  | Experiment.Run c :: _ ->
+      Some (Experiment.overheads_of_classification (experiment ctx app) c)
+  | _ -> None
 
-let overhead ctx app cfg = fst (overheads ctx app cfg)
-let memory_overhead ctx app cfg = snd (overheads ctx app cfg)
+let overhead ctx app cfg = Option.map fst (overheads ctx app cfg)
+let memory_overhead ctx app cfg = Option.map snd (overheads ctx app cfg)
+
+(** How a failed job renders: an explicit hole marker, never a silent
+    drop and never a batch abort. *)
+let hole = "!"
+
+let ratio_cell = function Some x -> T.f2 x | None -> hole
 
 (** StdNotAllDet flags, per site (the conditional-coverage filter). *)
 let snad ctx app kind =
@@ -199,12 +218,16 @@ let snad ctx app kind =
         (* per the Table 3.2 definition, a fault is StdNotAllDet if ANY
            stdapp run of it silently corrupts; with reps > 1 the flag is
            the per-site disjunction, replicated per repetition to align
-           with the classification lists *)
+           with the classification lists.  Computed over the FULL result
+           list — a failed stdapp run cannot claim SNAD — so positions
+           stay aligned with the (site x rep) grid even under holes *)
         let per_run =
           List.map
-            (fun (c : Experiment.classification) ->
-              c.Experiment.sf && (not c.Experiment.co) && not c.Experiment.ndet)
-            (stdapp_classes ctx app kind)
+            (function
+              | Experiment.Run (c : Experiment.classification) ->
+                  c.Experiment.sf && (not c.Experiment.co) && not c.Experiment.ndet
+              | Experiment.Job_failed _ -> false)
+            (stdapp_results ctx app kind)
         in
         let n_sites = List.length per_run / ctx.reps in
         List.concat
@@ -219,20 +242,26 @@ let snad ctx app kind =
       Hashtbl.replace ctx.snad_cache key l;
       l
 
-let filter_snad ctx app kind cs =
+(** Positional filter over a FULL result list (holes included), so the
+    i-th result still answers the i-th (site, rep) slot. *)
+let filter_snad ctx app kind rs =
   List.filteri
     (fun i _ -> match List.nth_opt (snad ctx app kind) i with Some b -> b | None -> false)
-    cs
+    rs
 
 (* ---------------- coverage figures ---------------- *)
 
-let cov_cells cov =
+let cov_cells ?(failed = 0) cov =
   [
     T.f2 (Metrics.co_frac cov);
     T.f2 (Metrics.ndet_frac cov);
     T.f2 (Metrics.ddet_frac cov);
     T.f2 (Metrics.total cov);
-    string_of_int cov.Metrics.n_sf;
+    (* failed jobs are marked in the sample-size column ("115!3" = 115
+       successful injections, 3 runs lost), so a degraded series is
+       visibly degraded instead of silently smaller *)
+    (if failed = 0 then string_of_int cov.Metrics.n_sf
+     else Printf.sprintf "%d%s%d" cov.Metrics.n_sf hole failed);
   ]
 
 let cov_header = [ "variant"; "app"; "CO"; "NatDet"; "DpmrDet"; "total"; "n" ]
@@ -246,18 +275,13 @@ let coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
         (fun (_, v) -> List.map (fun app -> dpmr_cell ctx app kind (mk_cfg v)) apps)
         variants);
   let rows = ref [] in
-  List.iter
-    (fun app ->
-      let cov = Metrics.of_list (stdapp_classes ctx app kind) in
-      rows := ([ "stdapp"; app ] @ cov_cells cov) :: !rows)
-    apps;
+  let row label app rs =
+    rows := ([ label; app ] @ cov_cells ~failed:(failed_of rs) (Metrics.of_list (ok_of rs))) :: !rows
+  in
+  List.iter (fun app -> row "stdapp" app (stdapp_results ctx app kind)) apps;
   List.iter
     (fun (vname, v) ->
-      List.iter
-        (fun app ->
-          let cov = Metrics.of_list (dpmr_classes ctx app kind (mk_cfg v)) in
-          rows := ([ vname; app ] @ cov_cells cov) :: !rows)
-        apps)
+      List.iter (fun app -> row vname app (dpmr_results ctx app kind (mk_cfg v))) apps)
     variants;
   print_string (T.render (cov_header :: List.rev !rows))
 
@@ -270,16 +294,15 @@ let cond_coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
         (fun (_, v) -> List.map (fun app -> dpmr_cell ctx app kind (mk_cfg v)) apps)
         variants);
   let rows = ref [] in
-  let agg classes_of =
-    Metrics.of_list
-      (List.concat_map (fun app -> filter_snad ctx app kind (classes_of app)) apps)
+  let agg label results_of =
+    let rs = List.concat_map (fun app -> filter_snad ctx app kind (results_of app)) apps in
+    rows :=
+      ([ label; "all" ] @ cov_cells ~failed:(failed_of rs) (Metrics.of_list (ok_of rs)))
+      :: !rows
   in
-  let cov0 = agg (fun app -> stdapp_classes ctx app kind) in
-  rows := ([ "stdapp"; "all" ] @ cov_cells cov0) :: !rows;
+  agg "stdapp" (fun app -> stdapp_results ctx app kind);
   List.iter
-    (fun (vname, v) ->
-      let cov = agg (fun app -> dpmr_classes ctx app kind (mk_cfg v)) in
-      rows := ([ vname; "all" ] @ cov_cells cov) :: !rows)
+    (fun (vname, v) -> agg vname (fun app -> dpmr_results ctx app kind (mk_cfg v)))
     variants;
   print_string (T.render (cov_header :: List.rev !rows))
 
@@ -296,7 +319,7 @@ let overhead_figure ctx ~title ~variants ~mk_cfg =
     ("golden" :: List.map (fun _ -> "1.00") apps)
     :: List.map
          (fun (vname, v) ->
-           vname :: List.map (fun app -> T.f2 (overhead ctx app (mk_cfg v))) apps)
+           vname :: List.map (fun app -> ratio_cell (overhead ctx app (mk_cfg v))) apps)
          variants
   in
   print_string (T.render (header :: rows))
@@ -321,8 +344,8 @@ let side_by_side_overhead ctx ~title ~variants ~mk_cfg =
         :: List.concat_map
              (fun app ->
                [
-                 T.f2 (overhead ctx app (mk_cfg Config.Sds v));
-                 T.f2 (overhead ctx app (mk_cfg Config.Mds v));
+                 ratio_cell (overhead ctx app (mk_cfg Config.Sds v));
+                 ratio_cell (overhead ctx app (mk_cfg Config.Mds v));
                ])
              apps)
       variants
@@ -349,9 +372,10 @@ let t2d_table ctx ~title ~variants ~mk_cfg =
             [ kind_tag kind; vname ]
             @ List.map
                 (fun app ->
-                  match Metrics.mean_t2d (dpmr_classes ctx app kind (mk_cfg v)) with
+                  let rs = dpmr_results ctx app kind (mk_cfg v) in
+                  match Metrics.mean_t2d (ok_of rs) with
                   | Some t -> Printf.sprintf "%.0f" t
-                  | None -> "--")
+                  | None -> if failed_of rs > 0 then hole else "--")
                 apps)
           variants)
       [ kind_resize; kind_free ]
@@ -670,8 +694,8 @@ let all : (string * string * (ctx -> unit)) list =
             (fun app ->
               [
                 app;
-                T.f2 (memory_overhead ctx app (div_cfg sds Config.No_diversity));
-                T.f2 (memory_overhead ctx app (div_cfg mds Config.No_diversity));
+                ratio_cell (memory_overhead ctx app (div_cfg sds Config.No_diversity));
+                ratio_cell (memory_overhead ctx app (div_cfg mds Config.No_diversity));
               ])
             apps
         in

@@ -27,6 +27,20 @@ exception Exit_program of int
 exception Dpmr_detected of string
 exception Timeout_exceeded
 exception Vm_error of string
+exception Cancelled of string
+
+(* Cooperative cancellation: a per-domain hook polled once per basic
+   block by both engines (at the same point the cost budget is checked).
+   A supervisor installs a closure that raises {!Cancelled} when its
+   wall-clock deadline passes; [None] — the common case — costs one
+   domain-local load and a branch per block.  Deliberately domain-local
+   rather than a [t] field: the hook must reach VMs created arbitrarily
+   deep inside a job (transform → run), which the wrapping supervisor
+   never sees. *)
+let poll_key : (unit -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_poll_hook f = Domain.DLS.set poll_key f
 
 type t = {
   prog : Prog.t;
@@ -54,7 +68,9 @@ and extern = t -> value list -> value option
 
 let add_cost t c = t.cost <- t.cost + c
 
-let check_budget t = if t.cost > t.budget then raise Timeout_exceeded
+let check_budget t =
+  if t.cost > t.budget then raise Timeout_exceeded;
+  match Domain.DLS.get poll_key with None -> () | Some f -> f ()
 
 let as_int = function I v -> v | F _ -> raise (Vm_error "expected int/pointer value")
 let as_float = function F v -> v | I _ -> raise (Vm_error "expected float value")

@@ -22,6 +22,11 @@ exception Dpmr_detected of string
 exception Timeout_exceeded
 exception Vm_error of string
 
+(** Raised out of {!run} by a cooperative-cancellation hook (see
+    {!set_poll_hook}); never caught by the run classifier, so it reaches
+    the supervisor that installed the hook. *)
+exception Cancelled of string
+
 type t = {
   prog : Prog.t;
   lprog : Lower.prog;  (** pre-resolved form executed by {!run} *)
@@ -52,6 +57,12 @@ and extern = t -> value list -> value option
     run the same program many times lower it once; a mismatched or absent
     [lowered] triggers a fresh lowering. *)
 val create : ?seed:int64 -> ?budget:int64 -> ?lowered:Lower.prog -> Prog.t -> t
+
+(** Install (or clear, with [None]) this domain's step-poll hook.  Both
+    dispatch loops call it once per basic block, at the budget check; the
+    hook cancels the run by raising {!Cancelled}.  Domain-local: a hook
+    installed by a worker never affects VMs on other domains. *)
+val set_poll_hook : (unit -> unit) option -> unit
 
 val register_extern : t -> string -> extern -> unit
 

@@ -1,7 +1,8 @@
 (* Parallel experiment engine tests (lib/engine): job hashing, the jsonl
    cache codec, classification edge cases, determinism of the domain
-   pool, and content-addressed cache behaviour (hits, stale-salt
-   eviction, clearing). *)
+   pool, content-addressed cache behaviour (hits, stale-salt eviction,
+   clearing), and crash durability (CRC framing, torn-tail recovery,
+   periodic flush, kill-and-resume). *)
 
 module Config = Dpmr_core.Config
 module Outcome = Dpmr_vm.Outcome
@@ -9,6 +10,7 @@ module Experiment = Dpmr_fi.Experiment
 module Inject = Dpmr_fi.Inject
 module Job = Dpmr_engine.Job
 module Cache = Dpmr_engine.Cache
+module Chaos = Dpmr_engine.Chaos
 module Pool = Dpmr_engine.Pool
 module Engine = Dpmr_engine.Engine
 module Progs = Dpmr_testprogs.Progs
@@ -154,6 +156,26 @@ let test_pool_order_and_exception () =
   Alcotest.check_raises "exception re-raised" Exit (fun () ->
       ignore (Pool.map ~jobs:3 (fun x -> if x = 5 then raise Exit else x) xs))
 
+let test_pool_map_results_per_slot () =
+  (* one element failing keeps every other slot's result; the failing
+     slot carries the exception instead of poisoning the batch *)
+  List.iter
+    (fun jobs ->
+      let xs = List.init 16 Fun.id in
+      let rs = Pool.map_results ~jobs (fun x -> if x mod 5 = 3 then raise Exit else x * 2) xs in
+      Alcotest.(check int) "one result per input" 16 (List.length rs);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+              Alcotest.(check bool) "slot should have failed" true (i mod 5 <> 3);
+              Alcotest.(check int) "value" (i * 2) v
+          | Error (e, _bt) ->
+              Alcotest.(check bool) "slot should have succeeded" true (i mod 5 = 3);
+              Alcotest.(check bool) "original exception kept" true (e = Exit))
+        rs)
+    [ 1; 4 ]
+
 (* ---- determinism guard: serial vs multi-domain ---- *)
 
 let lines_of cs =
@@ -172,9 +194,12 @@ let test_parallel_determinism () =
 
 let test_dir = "_engine_test_cache"
 
+(* chaos is pinned off here: these tests assert exact hit/miss/added
+   counts, which deliberate fault injection would perturb *)
 let with_clean_dir f =
-  ignore (Cache.clear ~dir:test_dir ());
-  Fun.protect ~finally:(fun () -> ignore (Cache.clear ~dir:test_dir ())) f
+  Chaos.with_chaos None (fun () ->
+      ignore (Cache.clear ~dir:test_dir ());
+      Fun.protect ~finally:(fun () -> ignore (Cache.clear ~dir:test_dir ())) f)
 
 let test_cache_hits_second_run () =
   with_clean_dir (fun () ->
@@ -217,6 +242,149 @@ let test_cache_clear () =
       let d = Cache.disk_stats ~dir:test_dir ~salt:Job.default_salt () in
       Alcotest.(check int) "empty after clear" 0 d.Cache.total)
 
+(* ---- crash durability: corruption recovery, flush, resume ---- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(** Fill the test cache through a real engine run; returns the specs and
+    their results. *)
+let populate () =
+  let specs = specs_fixture () in
+  let e = Engine.create ~jobs:1 ~cache_dir:test_dir ~progress:false () in
+  let rs = Engine.run_specs e specs in
+  (specs, rs)
+
+let reload () = Cache.load ~dir:test_dir ~salt:Job.default_salt ()
+
+let check_repaired ~survivors =
+  (* loading damage repairs the file in place (atomic compaction): a
+     second scan must be clean and hold exactly the survivors *)
+  let d = Cache.disk_stats ~dir:test_dir ~salt:Job.default_salt () in
+  Alcotest.(check int) "repaired: no damaged lines" 0 d.Cache.damaged;
+  Alcotest.(check bool) "repaired: clean tail" false d.Cache.torn_tail;
+  Alcotest.(check int) "repaired: survivors intact" survivors d.Cache.total
+
+let test_cache_torn_tail () =
+  with_clean_dir (fun () ->
+      let specs, _ = populate () in
+      let n = List.length specs in
+      let path = Cache.file_of test_dir in
+      let s = read_file path in
+      (* crash mid-append: the final record loses its last bytes and its
+         newline *)
+      write_file path (String.sub s 0 (String.length s - 9));
+      let c = reload () in
+      Alcotest.(check int) "torn record dropped" (n - 1) (Cache.entries c);
+      Alcotest.(check int) "torn tail counted" 1 (Cache.stats c).Cache.damaged;
+      Cache.close c;
+      check_repaired ~survivors:(n - 1))
+
+let test_cache_garbage_line () =
+  with_clean_dir (fun () ->
+      let specs, _ = populate () in
+      let n = List.length specs in
+      let path = Cache.file_of test_dir in
+      (match String.split_on_char '\n' (read_file path) with
+      | first :: rest ->
+          write_file path (String.concat "\n" (first :: "#### not a record ####" :: rest))
+      | [] -> Alcotest.fail "empty cache file");
+      let c = reload () in
+      Alcotest.(check int) "all real records survive" n (Cache.entries c);
+      Alcotest.(check int) "garbage counted" 1 (Cache.stats c).Cache.damaged;
+      Cache.close c;
+      check_repaired ~survivors:n)
+
+let test_cache_crc_mismatch () =
+  with_clean_dir (fun () ->
+      let specs, _ = populate () in
+      let n = List.length specs in
+      let path = Cache.file_of test_dir in
+      let b = Bytes.of_string (read_file path) in
+      (* single byte flip inside the first record's payload: the line
+         stays structurally plausible, only the CRC can catch it *)
+      let pos = 25 in
+      Bytes.set b pos (if Bytes.get b pos = 'x' then 'y' else 'x');
+      write_file path (Bytes.to_string b);
+      let c = reload () in
+      Alcotest.(check int) "flipped record dropped" (n - 1) (Cache.entries c);
+      Alcotest.(check int) "crc mismatch counted" 1 (Cache.stats c).Cache.damaged;
+      (* a damaged record is a miss, never a wrong result *)
+      let missed = ref 0 in
+      List.iter
+        (fun spec ->
+          if Cache.find c (Job.hash ~salt:Job.default_salt spec) = None then incr missed)
+        specs;
+      Alcotest.(check int) "exactly one lookup degraded to a miss" 1 !missed;
+      Cache.close c;
+      check_repaired ~survivors:(n - 1))
+
+let test_cache_random_corruption =
+  (* any byte-level corruption anywhere in the file: load never raises,
+     never over-counts survivors, and always repairs to a clean file *)
+  QCheck.Test.make ~name:"cache: random corruption always recovered" ~count:40
+    QCheck.(pair small_nat small_nat)
+    (fun (pos, cut) ->
+      Chaos.with_chaos None (fun () ->
+          ignore (Cache.clear ~dir:test_dir ());
+          Fun.protect ~finally:(fun () -> ignore (Cache.clear ~dir:test_dir ()))
+            (fun () ->
+              let specs, _ = populate () in
+              let n = List.length specs in
+              let path = Cache.file_of test_dir in
+              let pristine = read_file path in
+              let len = String.length pristine in
+              let pos = pos mod len in
+              let cut = min (1 + cut) (len - pos) in
+              let b = Bytes.of_string pristine in
+              Bytes.fill b pos cut 'Z';
+              write_file path (Bytes.to_string b);
+              let c = reload () in
+              let survivors = Cache.entries c in
+              Cache.close c;
+              let d = Cache.disk_stats ~dir:test_dir ~salt:Job.default_salt () in
+              survivors <= n && d.Cache.damaged = 0 && (not d.Cache.torn_tail)
+              && d.Cache.total = survivors)))
+
+let test_cache_flush_every () =
+  with_clean_dir (fun () ->
+      let cls =
+        {
+          Experiment.sf = true; co = false; ndet = false; ddet = true;
+          timeout = false; t2d = Some 7L; cost = 1L; peak_heap = 0;
+        }
+      in
+      let c = Cache.load ~dir:test_dir ~flush_every:2 ~salt:"s" () in
+      List.iter
+        (fun k -> Cache.add c ~key:k ~spec_repr:"r" cls)
+        [ "k1"; "k2"; "k3"; "k4"; "k5" ];
+      (* no close, no explicit flush: everything up to the last periodic
+         flush must already be on disk — that is what an interrupted
+         campaign resumes from *)
+      let d = Cache.disk_stats ~dir:test_dir ~salt:"s" () in
+      Alcotest.(check bool) "flushed prefix on disk"
+        true (d.Cache.current >= 4);
+      Cache.close c)
+
+let test_kill_and_resume () =
+  with_clean_dir (fun () ->
+      let specs, a = populate () in
+      (* simulate dying mid-append after the run's flush: a torn
+         half-record with no terminating newline *)
+      let path = Cache.file_of test_dir in
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"crc\":\"00000000\",\"key\":\"torn";
+      close_out oc;
+      let e2 = Engine.create ~jobs:1 ~cache_dir:test_dir ~progress:false () in
+      let b = Engine.run_specs e2 specs in
+      let s2 = Option.get (Engine.cache_stats e2) in
+      Alcotest.(check bool) "resume serves the flushed prefix" true (s2.Cache.hits > 0);
+      Alcotest.(check int) "torn tail counted, not fatal" 1 s2.Cache.damaged;
+      Alcotest.(check (list string)) "resumed results byte-identical" (lines_of a)
+        (lines_of b))
+
 let test_batch_dedup () =
   (* identical specs inside one batch execute once even without a cache *)
   let spec = List.hd (specs_fixture ()) in
@@ -240,12 +408,25 @@ let suites =
         Alcotest.test_case "classify: normal correct run" `Quick test_classify_normal_correct;
         Alcotest.test_case "pool: ordering and exceptions" `Quick
           test_pool_order_and_exception;
+        Alcotest.test_case "pool: per-slot results survive a failing slot" `Quick
+          test_pool_map_results_per_slot;
         Alcotest.test_case "determinism: serial vs 4 domains" `Quick
           test_parallel_determinism;
         Alcotest.test_case "cache: second run all hits" `Quick test_cache_hits_second_run;
         Alcotest.test_case "cache: stale code-version salt misses" `Quick
           test_cache_stale_salt_misses;
         Alcotest.test_case "cache: clear" `Quick test_cache_clear;
+        Alcotest.test_case "cache: torn tail dropped and repaired" `Quick
+          test_cache_torn_tail;
+        Alcotest.test_case "cache: garbage line dropped, records kept" `Quick
+          test_cache_garbage_line;
+        Alcotest.test_case "cache: CRC mismatch degrades to one miss" `Quick
+          test_cache_crc_mismatch;
+        QCheck_alcotest.to_alcotest test_cache_random_corruption;
+        Alcotest.test_case "cache: periodic flush persists without close" `Quick
+          test_cache_flush_every;
+        Alcotest.test_case "cache: kill and resume serves flushed prefix" `Quick
+          test_kill_and_resume;
         Alcotest.test_case "batch dedup of identical specs" `Quick test_batch_dedup;
       ] );
   ]
