@@ -9,7 +9,13 @@
     - [dpmr report <id>|all] — regenerate a paper table/figure, in
       parallel and backed by the result cache ([--jobs]/[--no-cache]);
       supervised runs accept [--deadline] and chaos injection
-      ([--chaos]/[DPMR_CHAOS]);
+      ([--chaos]/[DPMR_CHAOS]); [--telemetry-json FILE] dumps the
+      engine telemetry as JSON;
+    - [dpmr report forensics [FIG]] — traced re-run of a figure's fault
+      grid with per-run corruption→detection forensics;
+    - [dpmr trace run <workload>] — record an execution trace, print
+      cost profiles, export Chrome trace-event / Perfetto JSON;
+    - [dpmr trace validate FILE] — schema-check an exported trace;
     - [dpmr cache stats|verify|clear] — inspect, check or wipe the
       result cache ([verify] exits nonzero on damage);
     - [dpmr list] — list workloads and experiment ids. *)
@@ -27,6 +33,12 @@ module Cache = Dpmr_engine.Cache
 module Job = Dpmr_engine.Job
 module Chaos = Dpmr_engine.Chaos
 module Supervisor = Dpmr_engine.Supervisor
+module Telemetry = Dpmr_engine.Telemetry
+module Trace = Dpmr_trace.Trace
+module Export = Dpmr_trace.Export
+module Json_check = Dpmr_trace.Json_check
+module Analysis = Dpmr_trace.Forensics
+module Forensics = Dpmr_fi.Forensics
 
 (* ---- shared options ---- *)
 
@@ -283,7 +295,25 @@ let no_cache_t =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the on-disk result cache.")
 
 let report_cmd =
-  let id_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID|all") in
+  let id_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID|all|forensics")
+  in
+  let fig_t =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"FIG"
+          ~doc:"Figure whose fault grid 'report forensics' re-runs (default fig-3.6).")
+  in
+  let telemetry_json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the engine telemetry (jobs, retries, cache hit rate, wall \
+             time, trace totals) as JSON to $(docv).")
+  in
   let reps_t =
     Arg.(value & opt int 1 & info [ "reps" ] ~docv:"N"
            ~doc:"Repetitions per injection with distinct seeds (the RN dimension).")
@@ -305,7 +335,7 @@ let report_cmd =
       & info [ "deadline" ] ~docv:"SECS"
           ~doc:"Per-attempt wall-clock deadline for supervised jobs (0 = none).")
   in
-  let go id scale seed reps jobs no_cache chaos deadline =
+  let go id fig scale seed reps jobs no_cache chaos deadline telemetry_json =
     (match chaos with
     | None -> () (* DPMR_CHAOS, if set, still applies via Chaos.active *)
     | Some "0" -> Chaos.set None
@@ -323,15 +353,27 @@ let report_cmd =
     let engine = Engine.create ~jobs ~use_cache:(not no_cache) ~policy () in
     let ctx = Figures.create ~scale ~seed ~reps ~engine () in
     (if id = "all" then Figures.run_all ctx
+     else if id = "forensics" then
+       Figures.forensics ctx (Option.value fig ~default:"fig-3.6")
      else if List.mem id Figures.ids then Figures.run ctx id
      else die "unknown experiment %S (see 'dpmr list')" id);
-    Engine.print_summary engine
+    Engine.print_summary engine;
+    match telemetry_json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc
+          (Telemetry.to_json (Engine.telemetry engine) ~workers:(Engine.jobs engine)
+             ~cache:(Engine.cache_stats engine));
+        close_out oc
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Regenerate a paper table/figure (or 'all').")
+    (Cmd.info "report"
+       ~doc:"Regenerate a paper table/figure ('all' for everything; 'forensics \
+             FIG' for a traced fault grid).")
     Term.(
-      const go $ id_t $ scale_t $ seed_t $ reps_t $ jobs_t $ no_cache_t $ chaos_t
-      $ deadline_t)
+      const go $ id_t $ fig_t $ scale_t $ seed_t $ reps_t $ jobs_t $ no_cache_t
+      $ chaos_t $ deadline_t $ telemetry_json_t)
 
 let cache_cmd =
   let action_t =
@@ -345,6 +387,14 @@ let cache_cmd =
       s.Cache.current s.Cache.stale;
     Printf.printf "damaged : %d line(s)%s\n" s.Cache.damaged
       (if s.Cache.torn_tail then " + torn tail" else "");
+    (* hit rate of the persisted entries: the share a next run can serve
+       from cache (stale-salt and damaged lines miss) *)
+    let pct part =
+      if s.Cache.total = 0 then 0.
+      else 100. *. float_of_int part /. float_of_int s.Cache.total
+    in
+    Printf.printf "rate    : %.1f%% current (servable), %.1f%% stale-salt\n"
+      (pct s.Cache.current) (pct s.Cache.stale);
     Printf.printf "size    : %d bytes\n" s.Cache.bytes;
     Printf.printf "salt    : %s\n" Job.default_salt
   in
@@ -371,6 +421,131 @@ let cache_cmd =
        ~doc:"Inspect (stats), integrity-check (verify) or wipe (clear) the result cache.")
     Term.(const go $ action_t)
 
+let trace_cmd =
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace-event / Perfetto JSON to $(docv).")
+  in
+  let capacity_t =
+    Arg.(
+      value
+      & opt int Forensics.default_capacity
+      & info [ "capacity" ] ~docv:"SLOTS"
+          ~doc:"Ring capacity in event slots (rounded up to a power of two).")
+  in
+  let sample_t =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "sample" ] ~docv:"N"
+          ~doc:"Record one block-retirement event in $(docv) (power of two).")
+  in
+  let top_t =
+    Arg.(value & opt int 12 & info [ "top" ] ~docv:"N" ~doc:"Profile rows to print.")
+  in
+  let site_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "site" ] ~docv:"N"
+          ~doc:
+            "Inject a $(b,--kind) fault at site $(docv) before running, and \
+             run the forensics pass on the recorded trace.")
+  in
+  let kind_t =
+    let kind_conv =
+      Arg.enum [ ("resize", Inject.Heap_array_resize 50); ("free", Inject.Immediate_free) ]
+    in
+    Arg.(value & opt kind_conv (Inject.Heap_array_resize 50) & info [ "kind" ] ~doc:"resize | free.")
+  in
+  let print_summary_and_profile records summary top =
+    Printf.printf "events  : %d recorded (%d dropped), %d comparison(s), %d detection(s)\n"
+      summary.Trace.s_emitted summary.Trace.s_dropped summary.Trace.s_comparisons
+      summary.Trace.s_detections;
+    print_newline ();
+    Fmt.pr "%a" (Export.pp_profile ~top) (Export.profile records)
+  in
+  let run_go name scale seed mode diversity policy plain kind site capacity sample
+      out top =
+    let records =
+      match site with
+      | Some site_idx ->
+          (* traced fault-injection run + forensics chain *)
+          let wk = Experiment.workload name (fun () -> build_workload name scale) in
+          let e = Experiment.make ~seed wk in
+          let sites = Experiment.sites e kind in
+          let site =
+            match List.nth_opt sites site_idx with
+            | Some s -> s
+            | None -> die "no such site (have %d)" (List.length sites)
+          in
+          let variant =
+            if plain then Experiment.Fi_stdapp (kind, site)
+            else Experiment.Fi_dpmr ({ Config.mode; diversity; policy; seed }, kind, site)
+          in
+          let tr = Forensics.run_variant ~capacity ~sample_every:sample e variant in
+          Printf.printf "site    : %s\n" (Inject.site_name site);
+          Printf.printf "fate    : %s\n" (Forensics.fate tr);
+          Fmt.pr "%a" Analysis.pp_report tr.Forensics.report;
+          (if not tr.Forensics.consistent then
+             Printf.printf "!! trace distance disagrees with classification t2d\n");
+          print_summary_and_profile tr.Forensics.records tr.Forensics.summary top;
+          tr.Forensics.records
+      | None ->
+          let sink = Trace.create ~capacity ~sample_every:sample () in
+          let prog = build_workload name scale in
+          let r =
+            Trace.with_sink sink (fun () ->
+                if plain then Dpmr.run_plain ~seed prog
+                else Dpmr.run_dpmr ~seed { Config.mode; diversity; policy; seed } prog)
+          in
+          Printf.printf "outcome : %s\n" (Outcome.to_string r.Outcome.outcome);
+          Printf.printf "cost    : %Ld units\n" r.Outcome.cost;
+          let records = Trace.snapshot sink in
+          print_summary_and_profile records (Trace.summary sink) top;
+          records
+    in
+    match out with
+    | None -> ()
+    | Some file ->
+        Export.write_chrome_json file records;
+        Printf.printf "\ntrace   : %s (open in https://ui.perfetto.dev or chrome://tracing)\n"
+          file
+  in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Run a workload with the trace sink installed; print cost profiles \
+               and optionally export Perfetto JSON.")
+      Term.(
+        const run_go $ workload_t $ scale_t $ seed_t $ mode_t $ diversity_t
+        $ policy_t $ plain_t $ kind_t $ site_t $ capacity_t $ sample_t $ out_t
+        $ top_t)
+  in
+  let validate_go file =
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json_check.validate_trace s with
+    | Ok n -> Printf.printf "ok: %d trace event(s), schema valid\n" n
+    | Error e ->
+        Printf.eprintf "invalid trace %s: %s\n" file e;
+        exit 1
+  in
+  let validate_cmd =
+    let file_t = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+    Cmd.v
+      (Cmd.info "validate"
+         ~doc:"Check a JSON file against the Chrome trace-event schema.")
+      Term.(const validate_go $ file_t)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Record, export and validate execution traces.")
+    [ run_cmd; validate_cmd ]
+
 let list_cmd =
   let go () =
     print_endline "workloads:";
@@ -392,4 +567,4 @@ let () =
      collections during experiment sweeps. *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let info = Cmd.info "dpmr" ~doc:"Diverse Partial Memory Replication reproduction." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; transform_cmd; sites_cmd; inject_cmd; dsa_cmd; recover_cmd; dump_cmd; runfile_cmd; report_cmd; cache_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; transform_cmd; sites_cmd; inject_cmd; dsa_cmd; recover_cmd; dump_cmd; runfile_cmd; report_cmd; cache_cmd; trace_cmd; list_cmd ]))

@@ -13,7 +13,18 @@ open Dpmr_memsim
 module Vm = Dpmr_vm.Vm
 module Extern = Dpmr_vm.Extern
 
+module Trace = Dpmr_trace.Trace
+
 let detect what = raise (Vm.Dpmr_detected ("efw:" ^ what))
+
+(* A wrapper detection knows the exact divergent byte; hand it to any
+   installed trace sink before raising. *)
+let detect_at vm what ~app ~off =
+  (match vm.Vm.trace with
+  | Some s ->
+      Trace.emit_detect s ~cost:vm.Vm.cost ~what:("efw:" ^ what) ~addr:app ~off
+  | None -> ());
+  detect what
 
 (* --- argument stream: wrappers consume the γ()-expanded argument list --- *)
 
@@ -58,9 +69,12 @@ let check_bytes vm what a b n =
     if i < n then
       let x = Mem.read_u8 vm.Vm.mem (Int64.add a (Int64.of_int i)) in
       let y = Mem.read_u8 vm.Vm.mem (Int64.add b (Int64.of_int i)) in
-      if x <> y then detect what else go (i + 1)
+      if x <> y then detect_at vm what ~app:a ~off:i else go (i + 1)
   in
-  go 0
+  go 0;
+  match vm.Vm.trace with
+  | Some s -> Trace.emit_compare s ~cost:vm.Vm.cost ~app:a ~rep:b ~len:n
+  | None -> ()
 
 (** Check the NUL-terminated string at [a] against its replica (the
     Figure 2.11 [assert(strcmp(src, src_r) == 0)]). *)
@@ -73,6 +87,9 @@ let check_cstr vm what a a_r =
     pointer bytes are identical). *)
 let mirror vm ~app ~rep n =
   Vm.add_cost vm ((n / 4) + 2);
+  (match vm.Vm.trace with
+  | Some s -> Trace.emit_mirror s ~cost:vm.Vm.cost ~app ~rep ~len:n
+  | None -> ());
   Mem.move vm.Vm.mem ~dst:rep ~src:app n
 
 (* ------------------------------------------------------------------ *)

@@ -56,13 +56,23 @@ type recovery_result = {
     in [escalation] (in order) until a run completes normally. *)
 let run_with_recovery ?seed ?budget ?args (cfg : Config.t) (prog : Prog.t)
     ~escalation =
+  let module Trace = Dpmr_trace.Trace in
+  (* phase markers separate the original run from each padded
+     re-execution in a recorded trace *)
+  let mark label =
+    match Trace.current () with
+    | Some s -> Trace.emit_phase s ~label
+    | None -> ()
+  in
   let run p = Dpmr.run_dpmr ?seed ?budget ?args cfg p in
+  mark "rx:first-run";
   let first = run prog in
   match first.Dpmr_vm.Outcome.outcome with
   | Dpmr_vm.Outcome.Dpmr_detect _ ->
       let rec attempt n = function
         | [] -> { first; final = first; recovered_with = None; attempts = n }
         | pad :: rest ->
+            mark (Printf.sprintf "rx:retry pad=%d" pad);
             let r = run (pad_heap_requests prog pad) in
             if r.Dpmr_vm.Outcome.outcome = Dpmr_vm.Outcome.Normal then
               { first; final = r; recovered_with = Some pad; attempts = n + 1 }

@@ -11,6 +11,8 @@ type t = {
   mutable busy_seconds : float;  (** sum of per-job wall times *)
   mutable wall_seconds : float;  (** elapsed time inside engine batches *)
   mutable batches : int;
+  mutable trace : Dpmr_trace.Trace.summary;
+      (** merged per-domain trace-sink summaries (traced campaigns only) *)
   mu : Mutex.t;
 }
 
@@ -25,6 +27,7 @@ let create () =
     busy_seconds = 0.;
     wall_seconds = 0.;
     batches = 0;
+    trace = Dpmr_trace.Trace.zero_summary;
     mu = Mutex.create ();
   }
 
@@ -49,6 +52,10 @@ let record_failed t ~wall =
       t.busy_seconds <- t.busy_seconds +. wall)
 
 let record_retries t n = Mutex.protect t.mu (fun () -> t.retries <- t.retries + n)
+
+let record_trace t s =
+  Mutex.protect t.mu (fun () ->
+      t.trace <- Dpmr_trace.Trace.add_summary t.trace s)
 
 let record_batch t ~wall =
   Mutex.protect t.mu (fun () ->
@@ -97,4 +104,58 @@ let summary_lines t ~workers ~(cache : Cache.stats option) =
     Printf.sprintf "[engine] time: busy %.2fs, wall %.2fs over %d batch(es)%s; sim cost %Ld units"
       t.busy_seconds t.wall_seconds t.batches speed t.cost_units
   in
-  [ first; cache_line; time_line ]
+  let base = [ first; cache_line; time_line ] in
+  (* only surfaced when a trace sink actually recorded something, so
+     untraced runs keep the historical summary shape *)
+  let tr = t.trace in
+  if tr.Dpmr_trace.Trace.s_emitted = 0 then base
+  else
+    base
+    @ [
+        Printf.sprintf
+          "[engine] trace: %d events (%d dropped), %d comparison(s), %d detection(s), %d injection mark(s)"
+          tr.Dpmr_trace.Trace.s_emitted tr.Dpmr_trace.Trace.s_dropped
+          tr.Dpmr_trace.Trace.s_comparisons tr.Dpmr_trace.Trace.s_detections
+          tr.Dpmr_trace.Trace.s_fi_marks;
+      ]
+
+(** Machine-readable snapshot of everything {!summary_lines} reports
+    (plus the raw fields), for CI trend tracking.  One flat JSON object;
+    keys are stable, floats fixed-precision, absent subsystems [null]. *)
+let to_json t ~workers ~(cache : Cache.stats option) =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"dpmr-telemetry/1\",\n";
+  add "  \"workers\": %d,\n" workers;
+  add "  \"jobs\": { \"run\": %d, \"cached\": %d, \"failed\": %d, \"total\": %d },\n"
+    t.jobs_run t.jobs_cached t.jobs_failed
+    (t.jobs_run + t.jobs_cached + t.jobs_failed);
+  add "  \"retries\": %d,\n" t.retries;
+  add "  \"tasks_run\": %d,\n" t.tasks_run;
+  add "  \"cost_units\": %Ld,\n" t.cost_units;
+  add "  \"busy_seconds\": %.3f,\n" t.busy_seconds;
+  add "  \"wall_seconds\": %.3f,\n" t.wall_seconds;
+  add "  \"batches\": %d,\n" t.batches;
+  (match speedup_estimate t with
+  | Some s -> add "  \"speedup_estimate\": %.2f,\n" s
+  | None -> add "  \"speedup_estimate\": null,\n");
+  (match cache with
+  | None -> add "  \"cache\": null,\n"
+  | Some c ->
+      let looked = c.Cache.hits + c.Cache.misses in
+      let pct =
+        if looked = 0 then 0.
+        else 100. *. float_of_int c.Cache.hits /. float_of_int looked
+      in
+      add
+        "  \"cache\": { \"hits\": %d, \"lookups\": %d, \"hit_rate_pct\": %.1f, \"added\": %d, \"evicted\": %d, \"damaged\": %d },\n"
+        c.Cache.hits looked pct c.Cache.added c.Cache.evicted c.Cache.damaged);
+  let tr = t.trace in
+  add
+    "  \"trace\": { \"emitted\": %d, \"dropped\": %d, \"comparisons\": %d, \"detections\": %d, \"fi_marks\": %d }\n"
+    tr.Dpmr_trace.Trace.s_emitted tr.Dpmr_trace.Trace.s_dropped
+    tr.Dpmr_trace.Trace.s_comparisons tr.Dpmr_trace.Trace.s_detections
+    tr.Dpmr_trace.Trace.s_fi_marks;
+  add "}\n";
+  Buffer.contents b

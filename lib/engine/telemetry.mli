@@ -11,6 +11,8 @@ type t = {
   mutable busy_seconds : float;  (** sum of per-job wall times *)
   mutable wall_seconds : float;  (** elapsed time inside engine batches *)
   mutable batches : int;
+  mutable trace : Dpmr_trace.Trace.summary;
+      (** merged per-domain trace-sink summaries (traced campaigns only) *)
   mu : Mutex.t;
 }
 
@@ -21,6 +23,10 @@ val record_task : t -> wall:float -> unit
 val record_cached : t -> int -> unit
 val record_failed : t -> wall:float -> unit
 val record_retries : t -> int -> unit
+
+val record_trace : t -> Dpmr_trace.Trace.summary -> unit
+(** Merge one sink's summary into the campaign totals (thread-safe; call
+    once per retired sink). *)
 val record_batch : t -> wall:float -> unit
 
 val speedup_estimate : t -> float option
@@ -28,3 +34,7 @@ val speedup_estimate : t -> float option
     every executed job back-to-back on one domain. *)
 
 val summary_lines : t -> workers:int -> cache:Cache.stats option -> string list
+
+val to_json : t -> workers:int -> cache:Cache.stats option -> string
+(** Machine-readable snapshot of the campaign (the [--telemetry-json]
+    payload): one JSON object with stable keys. *)

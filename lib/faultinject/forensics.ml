@@ -1,0 +1,88 @@
+(** Traced fault-injection runs: the bridge between {!Experiment} and the
+    {!Dpmr_trace} forensics pass.
+
+    [run_variant] repeats an {!Experiment.run_variant} with a trace sink
+    installed for the duration of the run, analyzes the recorded events,
+    and cross-checks the trace-derived corruption→detection distance
+    against the classification's [t2d] (Equation 3.4): for a DPMR
+    detection the distance is measured to the recorded detect event, for
+    a natural detection (crash / error exit) to the end of the run —
+    both must equal [cost - fi_first_cost] exactly, because the
+    detection exception stops all cost accrual. *)
+
+module Trace = Dpmr_trace.Trace
+module Analysis = Dpmr_trace.Forensics
+
+type traced = {
+  classification : Experiment.classification;
+  records : Trace.record array;
+  report : Analysis.report;
+  summary : Trace.summary;
+  distance : int option;
+      (** resolved corruption→detection distance: the trace's own for
+          DPMR detections, run-end for natural ones, [None] for misses *)
+  consistent : bool;  (** [distance] agrees exactly with [t2d] *)
+}
+
+let default_capacity = 1 lsl 19
+
+let run_variant ?seed ?(capacity = default_capacity) ?(sample_every = 64) t
+    variant =
+  let sink = Trace.create ~capacity ~sample_every () in
+  let classification =
+    Trace.with_sink sink (fun () -> Experiment.run_variant ?seed t variant)
+  in
+  let records = Trace.snapshot sink in
+  let report =
+    Analysis.analyze ~heap_base:Dpmr_memsim.Mem.heap_base
+      ~dropped:(Trace.dropped sink) records
+  in
+  (* the trace alone cannot distinguish a miss from a natural detection
+     (both end without a detect event); the classification can *)
+  let report =
+    if
+      classification.Experiment.ndet
+      && report.Analysis.verdict <> Analysis.Detected
+      && report.Analysis.verdict <> Analysis.Not_injected
+    then { report with Analysis.verdict = Analysis.Detected_naturally }
+    else report
+  in
+  let distance =
+    match report.Analysis.distance with
+    | Some d -> Some d
+    | None -> (
+        match report.Analysis.injected_at with
+        | Some inj when classification.Experiment.ndet ->
+            Some (Int64.to_int classification.Experiment.cost - inj)
+        | _ -> None)
+  in
+  let consistent =
+    match (classification.Experiment.t2d, distance) with
+    | Some t2d, Some d -> Int64.to_int t2d = d
+    | None, None -> true
+    | _ -> false
+  in
+  {
+    classification;
+    records;
+    report;
+    summary = Trace.summary sink;
+    distance;
+    consistent;
+  }
+
+(** Short human label for the run's fate, folding the trace verdict into
+    the §3.6 classification. *)
+let fate (tr : traced) =
+  let c = tr.classification in
+  if not c.Experiment.sf then "not-triggered"
+  else if c.Experiment.ddet then "dpmr-detect"
+  else if c.Experiment.ndet then "natural-detect"
+  else if c.Experiment.timeout then "timeout"
+  else
+    match tr.report.Analysis.verdict with
+    | Analysis.Miss_no_comparison -> "miss (check never reached)"
+    | Analysis.Miss_replica_agreed _ -> "miss (replica agreed)"
+    | Analysis.Detected | Analysis.Detected_naturally | Analysis.Not_injected
+      ->
+        "miss"

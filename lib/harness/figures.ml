@@ -710,3 +710,122 @@ let run ctx id =
   | None -> invalid_arg (Printf.sprintf "Figures.run: unknown experiment %S" id)
 
 let run_all ctx = List.iter (fun (id, _, _) -> run ctx id) all
+
+(* ---------------- detection forensics ----------------
+
+   Deliberately not in [all]: [report all]'s stdout is a byte-stable
+   contract checked by CI golden diffs, and traced runs are a diagnostic
+   view layered on top of it ([dpmr report forensics <fig-id>]). *)
+
+module Forensics = Dpmr_fi.Forensics
+module Telemetry = Dpmr_engine.Telemetry
+module Analysis = Dpmr_trace.Forensics
+
+(* Map a figure id onto the fault kind and design mode its grid uses:
+   the registry descriptions name both. *)
+let forensics_params fig =
+  let desc =
+    match List.find_opt (fun (i, _, _) -> i = fig) all with
+    | Some (_, d, _) -> d
+    | None -> invalid_arg (Printf.sprintf "Figures.forensics: unknown experiment %S" fig)
+  in
+  let has sub =
+    let n = String.length sub and m = String.length desc in
+    let rec go i = i + n <= m && (String.sub desc i n = sub || go (i + 1)) in
+    go 0
+  in
+  let kind =
+    if fig = "ext-off-by-one" then Inject.Off_by_one
+    else if fig = "ext-wild-store" then Inject.Wild_store 4096
+    else if has "free" then kind_free
+    else kind_resize
+  in
+  let mode = if has "MDS" || has "mds" then mds else sds in
+  (kind, mode)
+
+(** Traced re-run of one figure's fault grid: every (app, site) cell of
+    [fig]'s fault kind under the baseline configuration, each run with a
+    trace sink installed, forensics-analyzed, and cross-checked against
+    its classification's t2d.  One engine task per app (the experiment
+    and its golden run are rebuilt inside the worker domain, like the
+    rx-recovery figure, so no program crosses domains); per-domain sink
+    summaries merge through the engine's telemetry. *)
+let forensics ctx fig =
+  let kind, mode = forensics_params fig in
+  let cfg = div_cfg mode Config.No_diversity in
+  T.print_section
+    (Printf.sprintf "Detection forensics: %s faults, %s (grid of %s)" (kind_tag kind)
+       (Config.mode_name mode) fig);
+  let scale = ctx.scale and seed = ctx.seed in
+  let per_app =
+    Engine.run_tasks ctx.engine
+      (List.map
+         (fun app () ->
+           let entry = Workloads.find app in
+           let wk =
+             Experiment.workload app (fun () -> entry.Workloads.build ~scale ())
+           in
+           let e = Experiment.make ~seed wk in
+           let traced =
+             List.map
+               (fun site ->
+                 (site, Forensics.run_variant e (Experiment.Fi_dpmr (cfg, kind, site))))
+               (Experiment.sites e kind)
+           in
+           let summary =
+             List.fold_left
+               (fun acc (_, tr) -> Dpmr_trace.Trace.add_summary acc tr.Forensics.summary)
+               Dpmr_trace.Trace.zero_summary traced
+           in
+           Telemetry.record_trace (Engine.telemetry ctx.engine) summary;
+           traced)
+         apps)
+  in
+  let fmt_corruption (tr : Forensics.traced) =
+    match
+      (tr.Forensics.report.Analysis.corruption, tr.Forensics.report.Analysis.first_bad_store)
+    with
+    | Some c, _ -> Fmt.str "%a" Analysis.pp_corruption c
+    | None, Some (_, c) -> Fmt.str "%a" Analysis.pp_corruption c
+    | None, None -> "-"
+  in
+  let fmt_divergence (tr : Forensics.traced) =
+    match tr.Forensics.report.Analysis.detection with
+    | Some { Analysis.addr = Some a; off = Some o; _ } ->
+        Printf.sprintf "0x%Lx+%d" a o
+    | _ -> "-"
+  in
+  let fmt_opt = function Some d -> string_of_int d | None -> "-" in
+  let rows =
+    List.concat
+      (List.map2
+         (fun app traced ->
+           List.map
+             (fun (site, tr) ->
+               let c = tr.Forensics.classification in
+               [
+                 app;
+                 Inject.site_name site;
+                 Forensics.fate tr;
+                 fmt_corruption tr;
+                 fmt_divergence tr;
+                 fmt_opt tr.Forensics.distance;
+                 (match c.Experiment.t2d with
+                 | Some t -> Int64.to_string t
+                 | None -> "-");
+                 (if tr.Forensics.consistent then "yes" else "NO");
+               ])
+             traced)
+         apps per_app)
+  in
+  print_string
+    (T.render
+       ([
+          "app"; "fault site"; "fate"; "corruption"; "divergent byte"; "trace dist";
+          "t2d"; "agree";
+        ]
+       :: rows));
+  let bad = List.filter (fun row -> List.nth row 7 = "NO") rows in
+  if bad <> [] then
+    Printf.printf "!! %d run(s) where trace distance disagrees with t2d\n"
+      (List.length bad)

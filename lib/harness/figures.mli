@@ -25,3 +25,12 @@ val ids : string list
 val run : ctx -> string -> unit
 
 val run_all : ctx -> unit
+
+val forensics : ctx -> string -> unit
+(** [forensics ctx fig] re-runs [fig]'s fault grid under the baseline
+    configuration with a trace sink installed on every run, printing one
+    row per (app, site): the named corruption, the first divergent
+    replica byte, the trace-derived corruption→detection distance and
+    whether it agrees with the classification's t2d, and an explanation
+    for every miss.  Not part of {!all}: [report all] output stays
+    byte-identical whether or not tracing exists. *)

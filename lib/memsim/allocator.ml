@@ -39,6 +39,9 @@ type t = {
           allocator's out-of-band metadata would) *)
   free_set : (int64, unit) Hashtbl.t;
   stats : stats;
+  tr : Dpmr_trace.Trace.t option;
+      (** the domain's trace sink, captured at {!create}; chunk events are
+          timestamped through the sink's clock (the VM's cost counter) *)
 }
 
 let create mem =
@@ -49,6 +52,7 @@ let create mem =
     chunk_sizes = Hashtbl.create 256;
     free_set = Hashtbl.create 256;
     stats = { n_malloc = 0; n_free = 0; live_bytes = 0; peak_bytes = 0 };
+    tr = Dpmr_trace.Trace.current ();
   }
 
 let round_size n =
@@ -81,6 +85,13 @@ let account_alloc t size =
   if t.stats.live_bytes > t.stats.peak_bytes then
     t.stats.peak_bytes <- t.stats.live_bytes
 
+let[@inline] trace_malloc t payload ~requested ~granted =
+  match t.tr with
+  | Some s ->
+      Dpmr_trace.Trace.emit_malloc s ~addr:payload ~requested ~granted
+        ~live:t.stats.live_bytes
+  | None -> ()
+
 (** Allocate [n] bytes; returns the payload address. *)
 let malloc t n =
   let size = round_size n in
@@ -91,6 +102,7 @@ let malloc t n =
       Hashtbl.remove t.free_set payload;
       write_header t payload size ~free:false;
       account_alloc t size;
+      trace_malloc t payload ~requested:n ~granted:size;
       payload
   | [] ->
       let chunk = t.wilderness in
@@ -100,12 +112,18 @@ let malloc t n =
       Hashtbl.replace t.chunk_sizes payload size;
       write_header t payload size ~free:false;
       account_alloc t size;
+      trace_malloc t payload ~requested:n ~granted:size;
       payload
 
 (** Free [payload].  Faults on non-chunk pointers (magic check) and on
     double frees of intact chunks; poisons the first 8 payload bytes with
     the free-list link. *)
 let free t payload =
+  (* before the sanity checks, so a crashing free is still on record *)
+  (match t.tr with
+  | Some s ->
+      Dpmr_trace.Trace.emit_free s ~addr:payload ~live:t.stats.live_bytes
+  | None -> ());
   if not (header_ok t payload) then raise (Mem.Fault (Mem.Invalid_free payload));
   if Hashtbl.mem t.free_set payload then
     raise (Mem.Fault (Mem.Double_free payload));

@@ -1,0 +1,188 @@
+(* Minimal JSON parser + trace-event schema check.
+
+   The repo deliberately has no JSON dependency; this parser exists so
+   tests and CI can validate exported traces without one.  It accepts
+   strict JSON (RFC 8259) minus \u surrogate-pair decoding (escapes are
+   preserved verbatim in strings — sufficient for validation). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance (); Buffer.contents b
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | ('"' | '\\' | '/') as c -> Buffer.add_char b c
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              String.iter
+                (fun c ->
+                  match c with
+                  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                  | _ -> fail "bad \\u escape")
+                (String.sub s (!pos + 1) 4);
+              Buffer.add_string b (String.sub s !pos 5);
+              pos := !pos + 4
+          | _ -> fail "bad escape");
+          advance ();
+          go ()
+      | c when Char.code c < 0x20 -> fail "control char in string"
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    let digits () =
+      let d = !pos in
+      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = d then fail "expected digit"
+    in
+    digits ();
+    if peek () = '.' then (advance (); digits ());
+    (match peek () with
+    | 'e' | 'E' ->
+        advance ();
+        (match peek () with '+' | '-' -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; v)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ((k, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (advance (); Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elems (v :: acc)
+            | ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems []
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' -> Num (parse_number ())
+    | _ -> fail "expected value"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let mem k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+(* Validate the Chrome trace-event JSON object format: a top-level
+   object with a [traceEvents] array whose elements each carry the
+   required name/ph/ts/pid/tid fields with the right types, [ph] drawn
+   from the phases we emit, and instant events scoped correctly. *)
+let validate_trace (s : string) : (int, string) result =
+  match parse s with
+  | Error e -> Error ("not valid JSON: " ^ e)
+  | Ok root -> (
+      match mem "traceEvents" root with
+      | None -> Error "missing \"traceEvents\" key"
+      | Some (Arr evs) -> (
+          let check i e =
+            let want k pred ty =
+              match mem k e with
+              | Some v when pred v -> Ok ()
+              | Some _ -> Error (Printf.sprintf "event %d: \"%s\" is not a %s" i k ty)
+              | None -> Error (Printf.sprintf "event %d: missing \"%s\"" i k)
+            in
+            let str = function Str _ -> true | _ -> false in
+            let num = function Num _ -> true | _ -> false in
+            let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+            want "name" str "string" >>= fun () ->
+            want "ph" str "string" >>= fun () ->
+            want "ts" num "number" >>= fun () ->
+            want "pid" num "number" >>= fun () ->
+            want "tid" num "number" >>= fun () ->
+            match mem "ph" e with
+            | Some (Str ("B" | "E" | "C" | "X" | "M")) -> Ok ()
+            | Some (Str "i") -> (
+                match mem "s" e with
+                | Some (Str ("t" | "p" | "g")) | None -> Ok ()
+                | Some _ -> Error (Printf.sprintf "event %d: bad instant scope" i))
+            | Some (Str ph) -> Error (Printf.sprintf "event %d: unknown phase %S" i ph)
+            | _ -> Error (Printf.sprintf "event %d: \"ph\" is not a string" i)
+          in
+          let rec go i = function
+            | [] -> Ok (List.length evs)
+            | (Obj _ as e) :: rest -> (
+                match check i e with Ok () -> go (i + 1) rest | Error m -> Error m)
+            | _ -> Error (Printf.sprintf "event %d: not an object" i)
+          in
+          go 0 evs)
+      | Some _ -> Error "\"traceEvents\" is not an array")

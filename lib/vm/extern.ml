@@ -273,8 +273,14 @@ let register_base vm =
           Some (Vm.I (Int64.of_int (String.length s)))
       | [] -> raise (Vm.Vm_error "printf: missing format"));
   (* intrinsics used by DPMR-generated code *)
-  reg "__dpmr_detect" (fun _ args ->
-      raise (Vm.Dpmr_detected (Printf.sprintf "check %Ld" (iarg 0 args))));
+  reg "__dpmr_detect" (fun vm args ->
+      let what = Printf.sprintf "check %Ld" (iarg 0 args) in
+      (match vm.Vm.trace with
+      | Some s ->
+          Dpmr_trace.Trace.emit_detect s ~cost:vm.Vm.cost ~what ~addr:(-1L)
+            ~off:(-1)
+      | None -> ());
+      raise (Vm.Dpmr_detected what));
   reg "__dpmr_heap_size" (fun vm args ->
       Some (Vm.I (Int64.of_int (Allocator.usable_size vm.Vm.alloc (iarg 0 args)))));
   reg "__dpmr_zero" (fun vm args ->
@@ -292,6 +298,9 @@ let register_base vm =
       (match vm.Vm.fi_first_cost with
       | None -> vm.Vm.fi_first_cost <- Some vm.Vm.cost
       | Some _ -> ());
+      (match vm.Vm.trace with
+      | Some s -> Dpmr_trace.Trace.emit_fi_mark s ~cost:vm.Vm.cost
+      | None -> ());
       None)
 
 (** Declare the extern signatures in a program so the verifier and the

@@ -82,6 +82,14 @@ and lblock = { linsts : linst array; lterm : lterm }
 and lterm =
   | Lbr of starget
   | Lcbr of lop * starget * starget
+  | Lcheck of lop * starget * starget * bool * bool
+      (** a [Lcbr] with at least one detection-block target (a block whose
+          first instruction calls [__dpmr_detect]) — i.e. an inline replica
+          load-check compiled by the diversity transform.  The booleans say
+          which targets are detection blocks.  Executes exactly like
+          [Lcbr]; the lowered engine additionally reports a passed
+          comparison to an installed trace sink when the branch takes a
+          non-detection target. *)
   | Lret of lop option
   | Lunreachable of string  (** pre-formatted error message *)
 
@@ -218,6 +226,30 @@ let shell (f : Func.t) =
     lblocks = [||];
   }
 
+(* Rewrite [Lcbr]s whose target is a detection block (first instruction
+   calls [__dpmr_detect]) into [Lcheck], so the VM can recognize inline
+   replica load-checks without any per-branch lookup at run time. *)
+let mark_checks lf =
+  let starts_detect (b : lblock) =
+    Array.length b.linsts > 0
+    &&
+    match b.linsts.(0) with
+    | Lcall (_, Lextern (_, "__dpmr_detect"), _, _) -> true
+    | _ -> false
+  in
+  let det = Array.map starts_detect lf.lblocks in
+  if Array.exists Fun.id det then begin
+    let is_det = function Bidx i -> det.(i) | Braise _ -> false in
+    lf.lblocks <-
+      Array.map
+        (fun b ->
+          match b.lterm with
+          | Lcbr (c, t1, t2) when is_det t1 || is_det t2 ->
+              { b with lterm = Lcheck (c, t1, t2, is_det t1, is_det t2) }
+          | _ -> b)
+        lf.lblocks
+  end
+
 let fill_body lp p (f : Func.t) lf =
   lf.lblocks <-
     Array.map
@@ -226,7 +258,8 @@ let fill_body lp p (f : Func.t) lf =
           linsts = Array.of_list (List.map (lower_inst lp p f) b.Func.insts);
           lterm = lower_term f b.Func.term;
         })
-      (Func.block_array f)
+      (Func.block_array f);
+  mark_checks lf
 
 (* Two phases so mutually recursive call knots resolve: every function
    gets a shell first, then bodies are filled in place — [Lfun] callees

@@ -53,6 +53,12 @@ and lblock = { linsts : linst array; lterm : lterm }
 and lterm =
   | Lbr of starget
   | Lcbr of lop * starget * starget
+  | Lcheck of lop * starget * starget * bool * bool
+      (** an [Lcbr] with at least one detection-block target (a block whose
+          first instruction calls [__dpmr_detect]) — an inline replica
+          load-check compiled by the diversity transform.  The booleans say
+          which targets are detection blocks; execution is identical to
+          [Lcbr] apart from trace-sink reporting. *)
   | Lret of lop option
   | Lunreachable of string  (** pre-formatted error message *)
 

@@ -20,6 +20,7 @@ open Dpmr_memsim
 open Types
 open Inst
 module L = Lower
+module Trace = Dpmr_trace.Trace
 
 type value = Lower.value = I of int64 | F of float
 
@@ -62,6 +63,10 @@ type t = {
   mutable fi_first_cost : int option;
   mutable call_depth : int;
   mutable use_lowered : bool;  (** engine selector for {!call_function} *)
+  trace : Trace.t option;
+      (** the domain's trace sink, captured once at {!create} — a [t]
+          field rather than a per-event DLS read so the disabled case
+          costs one immediate pointer test on each would-be event *)
 }
 
 and extern = t -> value list -> value option
@@ -187,8 +192,14 @@ let create ?(seed = 42L) ?(budget = 2_000_000_000L) ?lowered prog =
       fi_first_cost = None;
       call_depth = 0;
       use_lowered = true;
+      trace = Trace.current ();
     }
   in
+  (* the allocator and phase markers timestamp events through the sink's
+     clock; point it at this VM's cost counter *)
+  (match t.trace with
+  | Some s -> Trace.set_clock s (fun () -> t.cost)
+  | None -> ());
   layout_globals t;
   t
 
@@ -416,7 +427,13 @@ and exec_lfunc t (lf : L.lfunc) (args : value array) =
   done;
   if Array.length lf.L.lblocks = 0 then
     invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" lf.L.lname);
+  (match t.trace with
+  | Some s -> Trace.emit_call_enter s ~cost:t.cost ~fname:lf.L.lname
+  | None -> ());
   let result = exec_lblocks t lf frame in
+  (match t.trace with
+  | Some s -> Trace.emit_call_exit s ~cost:t.cost ~fname:lf.L.lname
+  | None -> ());
   t.sp <- frame.lentry_sp;
   t.call_depth <- t.call_depth - 1;
   result
@@ -426,6 +443,9 @@ and exec_lblocks t (lf : L.lfunc) frame =
   let rec go idx =
     let (b : L.lblock) = blocks.(idx) in
     check_budget t;
+    (match t.trace with
+    | Some s -> Trace.sample_block s ~cost:t.cost ~fname:lf.L.lname ~blk:idx
+    | None -> ());
     let insts = b.L.linsts in
     for i = 0 to Array.length insts - 1 do
       exec_linst t frame insts.(i)
@@ -438,6 +458,17 @@ and exec_lblocks t (lf : L.lfunc) frame =
         add_cost t Cost.cond_branch;
         let v = leval_int t frame c in
         go (resolve_target (if not (Int64.equal v 0L) then t1 else t2))
+    | L.Lcheck (c, t1, t2, d1, d2) ->
+        (* identical to Lcbr, plus: a branch away from the detection
+           block is a replica comparison that passed *)
+        add_cost t Cost.cond_branch;
+        let v = leval_int t frame c in
+        let tgt, to_det = if not (Int64.equal v 0L) then (t1, d1) else (t2, d2) in
+        (match t.trace with
+        | Some s when not to_det ->
+            Trace.emit_compare s ~cost:t.cost ~app:(-1L) ~rep:(-1L) ~len:0
+        | _ -> ());
+        go (resolve_target tgt)
     | L.Lret o ->
         add_cost t Cost.ret;
         Option.map (leval t frame) o
@@ -478,6 +509,12 @@ and exec_linst t frame (inst : L.linst) =
   | L.Lstore (k, v, p) ->
       add_cost t (Cost.store + Cost.heap_pressure (Allocator.live_bytes t.alloc));
       let addr = leval_int t frame p in
+      (match t.trace with
+      | Some s ->
+          (* before the write, so a faulting store is still on record *)
+          Trace.emit_store s ~cost:t.cost ~addr
+            ~bytes:(match k with L.Kint n -> n | L.Kfloat -> 8 | L.Kbad -> 0)
+      | None -> ());
       (match k with
       | L.Kint n -> (
           match v with
@@ -628,7 +665,13 @@ and exec_func t (f : Func.t) args =
         raise (Vm_error (Printf.sprintf "%s: missing argument %d" f.name i))
   in
   bind 0 f.params args;
+  (match t.trace with
+  | Some s -> Trace.emit_call_enter s ~cost:t.cost ~fname:f.name
+  | None -> ());
   let result = exec_blocks t f frame in
+  (match t.trace with
+  | Some s -> Trace.emit_call_exit s ~cost:t.cost ~fname:f.name
+  | None -> ());
   t.sp <- frame.entry_sp;
   t.call_depth <- t.call_depth - 1;
   result
@@ -636,6 +679,9 @@ and exec_func t (f : Func.t) args =
 and exec_blocks t f frame =
   let rec run (b : Func.block) =
     check_budget t;
+    (match t.trace with
+    | Some s -> Trace.sample_block s ~cost:t.cost ~fname:f.Func.name ~blk:(-1)
+    | None -> ());
     List.iter (exec_inst t f frame) b.insts;
     match b.term with
     | Br l ->
@@ -690,6 +736,11 @@ and exec_inst t f frame inst =
   | Store (ty, v, p) ->
       add_cost t (Cost.store + Cost.heap_pressure (Allocator.live_bytes t.alloc));
       let addr = as_int (ev p) in
+      (match t.trace with
+      | Some s ->
+          Trace.emit_store s ~cost:t.cost ~addr
+            ~bytes:(Layout.size_of t.prog.tenv ty)
+      | None -> ());
       store_scalar t ty addr (ev v)
   | Gep_field (r, sname, p, i) ->
       add_cost t Cost.gep;

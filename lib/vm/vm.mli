@@ -47,6 +47,10 @@ type t = {
   mutable fi_first_cost : int option;
   mutable call_depth : int;
   mutable use_lowered : bool;  (** engine selector for {!call_function} *)
+  trace : Dpmr_trace.Trace.t option;
+      (** the domain's trace sink ({!Dpmr_trace.Trace.current}), captured
+          once at {!create}; [None] — the common case — costs one pointer
+          test per would-be event *)
 }
 
 and extern = t -> value list -> value option

@@ -155,6 +155,19 @@ let prop_random_roundtrip =
       let p2 = Text.parse (Text.emit p) in
       behaviour p = behaviour p2)
 
+(* qcheck: the parsed program verifies and re-emits to the identical
+   text — parse . emit is a verifier-preserving fixpoint, so golden
+   files and cache keys derived from emitted text are stable. *)
+let prop_random_emit_fixpoint =
+  QCheck.Test.make ~name:"random programs: emit . parse . emit is a fixpoint"
+    ~count:40 Test_differential.arb_ops
+    (fun ops ->
+      let p = Test_differential.build_prog ops in
+      let text = Text.emit p in
+      let p2 = Text.parse text in
+      Verifier.check_prog p2;
+      String.equal text (Text.emit p2))
+
 let suites =
   [
     ( "text",
@@ -168,5 +181,6 @@ let suites =
         Alcotest.test_case "comments and blanks" `Quick test_comments_and_blank_lines;
         Alcotest.test_case "hand-written program" `Quick test_handwritten_program;
       ]
-      @ List.map QCheck_alcotest.to_alcotest [ prop_random_roundtrip ] );
+      @ List.map QCheck_alcotest.to_alcotest
+          [ prop_random_roundtrip; prop_random_emit_fixpoint ] );
   ]
