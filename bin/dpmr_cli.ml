@@ -39,6 +39,7 @@ module Export = Dpmr_trace.Export
 module Json_check = Dpmr_trace.Json_check
 module Analysis = Dpmr_trace.Forensics
 module Forensics = Dpmr_fi.Forensics
+module Drain = Dpmr_server.Drain
 
 (* ---- shared options ---- *)
 
@@ -335,7 +336,23 @@ let report_cmd =
       & info [ "deadline" ] ~docv:"SECS"
           ~doc:"Per-attempt wall-clock deadline for supervised jobs (0 = none).")
   in
-  let go id fig scale seed reps jobs no_cache chaos deadline telemetry_json =
+  let retries_t =
+    Arg.(
+      value
+      & opt int Supervisor.default_policy.Supervisor.max_retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra attempts granted to transiently failing jobs.")
+  in
+  let backoff_ms_t =
+    Arg.(
+      value
+      & opt float (Supervisor.default_policy.Supervisor.backoff *. 1000.)
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base backoff between retry attempts, milliseconds (doubles per \
+                attempt, deterministically jittered).")
+  in
+  let go id fig scale seed reps jobs no_cache chaos deadline retries backoff_ms
+      telemetry_json =
     (match chaos with
     | None -> () (* DPMR_CHAOS, if set, still applies via Chaos.active *)
     | Some "0" -> Chaos.set None
@@ -344,13 +361,38 @@ let report_cmd =
         | Some c -> Chaos.set (Some c)
         | None -> die "bad --chaos %S (want P or P,SEED with 0 < P <= 1)" s));
     let policy =
-      match deadline with
-      | None -> Supervisor.default_policy
-      | Some d when d <= 0. -> { Supervisor.default_policy with Supervisor.deadline = None }
-      | Some d -> { Supervisor.default_policy with Supervisor.deadline = Some d }
+      let base = Supervisor.default_policy in
+      let backoff = Float.max 0. (backoff_ms /. 1000.) in
+      {
+        Supervisor.max_retries = max 0 retries;
+        backoff;
+        backoff_max = Float.max base.Supervisor.backoff_max (backoff *. 10.);
+        deadline =
+          (match deadline with
+          | None -> base.Supervisor.deadline
+          | Some d when d <= 0. -> None
+          | Some d -> Some d);
+      }
     in
     let jobs = if jobs <= 0 then Engine.default_jobs () else jobs in
     let engine = Engine.create ~jobs ~use_cache:(not no_cache) ~policy () in
+    let write_telemetry () =
+      match telemetry_json with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc
+            (Telemetry.to_json (Engine.telemetry engine) ~workers:(Engine.jobs engine)
+               ~cache:(Engine.cache_stats engine));
+          close_out oc
+    in
+    (* a SIGINT/SIGTERM mid-grid keeps everything finished so far: the
+       cache frames reach disk and the telemetry snapshot is written —
+       the same wind-down the serving daemon performs on drain *)
+    Drain.on_cleanup (fun () ->
+        Engine.drain engine;
+        write_telemetry ());
+    Drain.graceful_exit ();
     let ctx = Figures.create ~scale ~seed ~reps ~engine () in
     (if id = "all" then Figures.run_all ctx
      else if id = "forensics" then
@@ -358,14 +400,7 @@ let report_cmd =
      else if List.mem id Figures.ids then Figures.run ctx id
      else die "unknown experiment %S (see 'dpmr list')" id);
     Engine.print_summary engine;
-    match telemetry_json with
-    | None -> ()
-    | Some file ->
-        let oc = open_out file in
-        output_string oc
-          (Telemetry.to_json (Engine.telemetry engine) ~workers:(Engine.jobs engine)
-             ~cache:(Engine.cache_stats engine));
-        close_out oc
+    write_telemetry ()
   in
   Cmd.v
     (Cmd.info "report"
@@ -373,7 +408,7 @@ let report_cmd =
              FIG' for a traced fault grid).")
     Term.(
       const go $ id_t $ fig_t $ scale_t $ seed_t $ reps_t $ jobs_t $ no_cache_t
-      $ chaos_t $ deadline_t $ telemetry_json_t)
+      $ chaos_t $ deadline_t $ retries_t $ backoff_ms_t $ telemetry_json_t)
 
 let cache_cmd =
   let action_t =
@@ -381,8 +416,21 @@ let cache_cmd =
          & pos 0 (some (enum [ ("stats", `Stats); ("verify", `Verify); ("clear", `Clear) ])) None
          & info [] ~docv:"stats|verify|clear")
   in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable output (stats only): one JSON object on stdout.")
+  in
+  let dir_t =
+    Arg.(
+      value
+      & opt string Cache.default_dir
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Cache directory to inspect.")
+  in
   let print_disk_stats (s : Cache.disk_stats) =
-    Printf.printf "file    : %s\n" s.Cache.path;
+    Printf.printf "dir     : %s (%d file(s) of %d shards)\n" s.Cache.path s.Cache.files
+      Cache.shard_count;
     Printf.printf "entries : %d (%d current, %d stale-salt)\n" s.Cache.total
       s.Cache.current s.Cache.stale;
     Printf.printf "damaged : %d line(s)%s\n" s.Cache.damaged
@@ -398,14 +446,16 @@ let cache_cmd =
     Printf.printf "size    : %d bytes\n" s.Cache.bytes;
     Printf.printf "salt    : %s\n" Job.default_salt
   in
-  let go action =
+  let go action json dir =
     match action with
-    | `Stats -> print_disk_stats (Cache.disk_stats ~salt:Job.default_salt ())
+    | `Stats ->
+        let s = Cache.disk_stats ~dir ~salt:Job.default_salt () in
+        if json then print_string (Cache.disk_stats_to_json s) else print_disk_stats s
     | `Verify ->
         (* read-only integrity check: nonzero exit when any line fails
            CRC/format validation or the tail is torn (the next engine run
            would repair it; verify only reports) *)
-        let s = Cache.disk_stats ~salt:Job.default_salt () in
+        let s = Cache.disk_stats ~dir ~salt:Job.default_salt () in
         print_disk_stats s;
         if s.Cache.damaged > 0 || s.Cache.torn_tail then begin
           Printf.printf "verdict : DAMAGED (a supervised run will repair on load)\n";
@@ -413,13 +463,13 @@ let cache_cmd =
         end
         else Printf.printf "verdict : clean\n"
     | `Clear ->
-        let n = Cache.clear () in
+        let n = Cache.clear ~dir () in
         Printf.printf "removed %d cached result(s)\n" n
   in
   Cmd.v
     (Cmd.info "cache"
        ~doc:"Inspect (stats), integrity-check (verify) or wipe (clear) the result cache.")
-    Term.(const go $ action_t)
+    Term.(const go $ action_t $ json_t $ dir_t)
 
 let trace_cmd =
   let out_t =

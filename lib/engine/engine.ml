@@ -24,12 +24,15 @@ type t = {
   telemetry : Telemetry.t;
   supervisor : Supervisor.t;
   progress : bool;
+  pool : Pool.t option;
+      (** resident worker pool, reused across batches; [None] runs every
+          batch on transient domains (the historical behaviour) *)
 }
 
 let default_jobs () = Pool.default_size ()
 
 let create ?jobs ?(use_cache = true) ?(cache_dir = Cache.default_dir)
-    ?(salt = Job.default_salt) ?policy ?(progress = true) () =
+    ?(salt = Job.default_salt) ?policy ?(progress = true) ?(resident = false) () =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let cache = if use_cache then Some (Cache.load ~dir:cache_dir ~salt ()) else None in
   {
@@ -39,12 +42,32 @@ let create ?jobs ?(use_cache = true) ?(cache_dir = Cache.default_dir)
     telemetry = Telemetry.create ();
     supervisor = Supervisor.create ?policy ();
     progress;
+    pool = (if resident && jobs > 1 then Some (Pool.create ~size:jobs ()) else None);
   }
 
 let jobs t = t.jobs
 let telemetry t = t.telemetry
 let supervisor t = t.supervisor
 let cache_stats t = Option.map Cache.stats t.cache
+
+let cache_mem t spec =
+  match t.cache with
+  | None -> false
+  | Some c -> Cache.mem c (Job.hash ~salt:t.salt spec)
+
+let drain t = Option.iter Cache.flush t.cache
+
+let close t =
+  Option.iter Cache.flush t.cache;
+  Option.iter Cache.close t.cache;
+  Option.iter Pool.shutdown t.pool
+
+(* Batches go to the resident pool when there is one; otherwise to a
+   transient per-batch pool. *)
+let pool_map t ?progress f xs =
+  match t.pool with
+  | Some p -> Pool.map_on p ?progress f xs
+  | None -> Pool.map ?progress ~jobs:t.jobs f xs
 
 (* ---------------- per-domain experiment contexts ---------------- *)
 
@@ -126,7 +149,7 @@ let run_specs_r t specs =
         (* every job runs under supervision: deadline, retry-with-backoff
            for transient failures, quarantine for deterministic ones — a
            failure fills its own slots and cannot abort the batch *)
-        Pool.map ?progress:(progress_fn t (List.length to_run)) ~jobs:t.jobs
+        pool_map t ?progress:(progress_fn t (List.length to_run))
           (fun (key, spec) ->
             let t1 = Telemetry.now () in
             let r = Supervisor.run t.supervisor ~key (fun () -> execute spec) in
@@ -184,7 +207,7 @@ let run_tasks t thunks =
   | _ ->
       let t0 = Telemetry.now () in
       let outs =
-        Pool.map ~jobs:t.jobs
+        pool_map t
           (fun f ->
             let t1 = Telemetry.now () in
             let r = f () in

@@ -20,18 +20,44 @@ val create :
   ?salt:string ->
   ?policy:Supervisor.policy ->
   ?progress:bool ->
+  ?resident:bool ->
   unit ->
   t
 (** [jobs] defaults to [default_jobs ()]; [use_cache] defaults to [true]
     (directory [Cache.default_dir]); [salt] defaults to
     [Job.default_salt]; [policy] is the supervision policy (deadline /
     retry / backoff, default [Supervisor.default_policy]); [progress]
-    prints batch progress to stderr on long grids. *)
+    prints batch progress to stderr on long grids.  [resident] (default
+    [false]) keeps one worker pool alive across batches instead of
+    spawning domains per batch, so per-domain warmup (experiment
+    contexts, lowered programs) is paid once — the mode long-lived
+    embedders (the serving daemon, multi-figure reports) use.  A
+    resident engine must be {!close}d; its domains otherwise park
+    forever. *)
 
 val jobs : t -> int
 val telemetry : t -> Telemetry.t
 val supervisor : t -> Supervisor.t
 val cache_stats : t -> Cache.stats option
+
+val cache_mem : t -> Job.spec -> bool
+(** Whether the spec's verdict is already in the result cache, without
+    touching the hit/miss counters.  [false] when caching is off. *)
+
+val drain : t -> unit
+(** Flush (and fsync) the result cache.  The graceful-shutdown path of
+    the daemon and of interrupted batch reports. *)
+
+val close : t -> unit
+(** [drain], close the cache channels, and shut down the resident pool
+    (if any), joining its domains. *)
+
+val experiment_for : Job.spec -> Experiment.t
+(** The per-domain experiment context (golden run, budget, prepared
+    program) a spec executes against, built on first use and cached in
+    domain-local storage.  Must be called on the domain that will run
+    the experiment — contexts hold a [Prog.t] and must never cross
+    domains; inside {!run_tasks} thunks is the intended place. *)
 
 val run_specs_r : t -> Job.spec list -> Experiment.run_result list
 (** Run a batch under supervision; the i-th result answers the i-th

@@ -50,3 +50,16 @@ val entry_to_line : entry -> string
 
 val entry_of_line : string -> entry option
 (** Parse a cache line; [None] on malformed input (treated as a miss). *)
+
+(** {2 Flat-JSON helpers}
+
+    The cache lines — and the serving wire protocol built on the same
+    convention — are single flat JSON objects with string / bool /
+    integer / null values only. *)
+
+val json_escape : string -> string
+
+val parse_flat_object :
+  string -> (string * [ `String of string | `Bool of bool | `Int of int64 | `Null ]) list option
+(** Parse one flat object into its field list (reverse field order);
+    [None] on any malformed input. *)

@@ -1,7 +1,44 @@
-(** Fixed-size domain worker pool with deterministic result ordering. *)
+(** Fixed-size domain worker pool with deterministic result ordering.
+
+    Batches either spin up a transient pool per call ({!map},
+    {!map_results}) or run on a {b resident} pool ({!create}) whose
+    worker domains park between batches — the mode the engine and the
+    serving daemon use so per-domain warmup (DLS-cached experiment
+    contexts, lowered programs) survives from one batch to the next. *)
 
 val default_size : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
+
+type t
+(** A resident pool: [size] worker domains pulling from one queue. *)
+
+val create : ?size:int -> unit -> t
+(** Spawn the worker domains (default {!default_size}, minimum 1). *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Drain the queue, stop the workers and join their domains.
+    Idempotent only in the sense that a second call joins nothing. *)
+
+val map_results_on :
+  t ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn * Printexc.raw_backtrace) result list
+(** Run one batch on a resident pool; same slot/ordering/error contract
+    as {!map_results}.  Thread-safe: batches submitted concurrently from
+    several domains interleave in the queue, and each caller blocks only
+    on its own completion count. *)
+
+val map_on :
+  t ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** {!map_results_on} with the raise-on-first-error contract of {!map}. *)
 
 val map_results :
   ?progress:(done_:int -> total:int -> unit) ->

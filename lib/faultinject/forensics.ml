@@ -86,3 +86,58 @@ let fate (tr : traced) =
     | Analysis.Detected | Analysis.Detected_naturally | Analysis.Not_injected
       ->
         "miss"
+
+(* ---------------- machine-readable report ---------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** One flat JSON object summarizing a traced run — the [forensics]
+    payload of a serving-daemon verdict.  Human-oriented parts
+    (corruption, verdict) reuse the report pretty-printers, so the wire
+    text matches the [report forensics] grid exactly. *)
+let to_json (tr : traced) =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let r = tr.report in
+  add "{\"schema\":\"dpmr-forensics/1\"";
+  add ",\"fate\":\"%s\"" (json_escape (fate tr));
+  add ",\"verdict\":\"%s\"" (json_escape (Fmt.str "%a" Analysis.pp_verdict r.Analysis.verdict));
+  (match r.Analysis.injected_at with
+  | Some c -> add ",\"injected_at\":%d" c
+  | None -> add ",\"injected_at\":null");
+  (match r.Analysis.corruption with
+  | Some c -> add ",\"corruption\":\"%s\"" (json_escape (Fmt.str "%a" Analysis.pp_corruption c))
+  | None -> add ",\"corruption\":null");
+  (match r.Analysis.first_bad_store with
+  | Some (cost, c) ->
+      add ",\"first_bad_store\":\"%s\",\"first_bad_store_at\":%d"
+        (json_escape (Fmt.str "%a" Analysis.pp_corruption c))
+        cost
+  | None -> add ",\"first_bad_store\":null,\"first_bad_store_at\":null");
+  (match r.Analysis.detection with
+  | Some d ->
+      add ",\"detected_what\":\"%s\",\"detected_at\":%d" (json_escape d.Analysis.what)
+        d.Analysis.at_cost
+  | None -> add ",\"detected_what\":null,\"detected_at\":null");
+  (match tr.distance with
+  | Some d -> add ",\"distance\":%d" d
+  | None -> add ",\"distance\":null");
+  add ",\"compares_after\":%d" r.Analysis.compares_after;
+  add ",\"consistent\":%b" tr.consistent;
+  add ",\"truncated\":%b" r.Analysis.truncated;
+  add ",\"events\":%d,\"dropped\":%d" tr.summary.Trace.s_emitted tr.summary.Trace.s_dropped;
+  add "}";
+  Buffer.contents b

@@ -1,0 +1,62 @@
+(** Synchronous client for the serving protocol: one socket, one
+    request in flight (the load generator opens many clients for
+    concurrency).  Request ids are assigned per client and checked
+    against the response, so a desynchronized stream fails loudly
+    instead of mis-attributing verdicts. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_rid : int;
+}
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; next_rid = 1 }
+
+let connect_tcp host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (addr, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; next_rid = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(** Send one request body; blocks for the matching response and returns
+    its reply.  Raises [Protocol.Closed] if the server hung up and
+    [Failure] on a malformed or mismatched response. *)
+let call t body =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  Protocol.write_frame t.fd (Protocol.encode_request { Protocol.rid; body });
+  match Protocol.read_frame t.fd with
+  | None -> raise Protocol.Closed
+  | Some payload -> (
+      match Protocol.decode_response payload with
+      | Error msg -> failwith ("malformed response: " ^ msg)
+      | Ok resp ->
+          (* rrid 0 = a pre-decode failure on the server: it could not
+             attribute the error to a request id *)
+          if resp.Protocol.rrid <> rid && resp.Protocol.rrid <> 0 then
+            failwith
+              (Printf.sprintf "response id %d does not answer request %d"
+                 resp.Protocol.rrid rid);
+          resp.Protocol.reply)
+
+let hello t client_name = call t (Protocol.Hello client_name)
+let ping t = call t Protocol.Ping
+let stats t = call t Protocol.Stats
+let drain t = call t Protocol.Drain
+let register t ir_source = call t (Protocol.Register ir_source)
+let run t params = call t (Protocol.Run params)

@@ -1,0 +1,50 @@
+(** Graceful shutdown on SIGINT/SIGTERM, shared by the daemon and batch
+    CLI runs.
+
+    Two shapes:
+
+    - {!graceful_exit} — for batch commands: on the first signal, run
+      the registered cleanups (flush cache frames, dump telemetry) and
+      exit with the conventional [128 + signo]; a second signal during
+      cleanup exits immediately, so a wedged flush cannot make the
+      process unkillable.
+    - {!notify} — for the daemon: the handler only invokes the given
+      callback (set a draining flag, wake the accept loop); the server
+      owns the actual wind-down.
+
+    OCaml runs signal handlers at safepoints on some running domain, so
+    handlers here may execute full OCaml code — but cleanups should
+    still be idempotent and quick. *)
+
+let default_signals = [ Sys.sigint; Sys.sigterm ]
+
+let cleanups : (unit -> unit) list ref = ref []
+let cleaning = Atomic.make false
+
+let on_cleanup f = cleanups := f :: !cleanups
+
+let run_cleanups () =
+  if not (Atomic.exchange cleaning true) then
+    List.iter (fun f -> try f () with _ -> ()) !cleanups
+
+let graceful_exit ?(signals = default_signals) () =
+  List.iter
+    (fun signo ->
+      try
+        Sys.set_signal signo
+          (Sys.Signal_handle
+             (fun s ->
+               if Atomic.get cleaning then exit (128 + s)
+               else begin
+                 run_cleanups ();
+                 exit (128 + s)
+               end))
+      with Invalid_argument _ | Sys_error _ -> ())
+    signals
+
+let notify ?(signals = default_signals) f =
+  List.iter
+    (fun signo ->
+      try Sys.set_signal signo (Sys.Signal_handle (fun _ -> f ()))
+      with Invalid_argument _ | Sys_error _ -> ())
+    signals

@@ -30,9 +30,27 @@ let all =
     };
   ]
 
+(* Dynamic entries: programs submitted over the serving protocol (or by
+   embedders) register here under content-addressed names, so the whole
+   engine path — job specs, the result cache, per-domain experiment
+   contexts — applies to them unchanged.  Shared across domains, hence
+   the mutex: pool workers resolve names while a server session
+   registers new ones. *)
+let dynamic : (string, entry) Hashtbl.t = Hashtbl.create 16
+let dynamic_mu = Mutex.create ()
+
+let register e =
+  Mutex.protect dynamic_mu (fun () ->
+      if List.exists (fun s -> s.name = e.name) all then
+        invalid_arg (Printf.sprintf "Workloads.register: %S is a built-in" e.name)
+      else Hashtbl.replace dynamic e.name e)
+
 let find name =
   match List.find_opt (fun e -> e.name = name) all with
   | Some e -> e
-  | None -> invalid_arg (Printf.sprintf "Workloads.find: unknown workload %S" name)
+  | None -> (
+      match Mutex.protect dynamic_mu (fun () -> Hashtbl.find_opt dynamic name) with
+      | Some e -> e
+      | None -> invalid_arg (Printf.sprintf "Workloads.find: unknown workload %S" name))
 
 let names = List.map (fun e -> e.name) all

@@ -9,5 +9,19 @@ type entry = {
 }
 
 val all : entry list
+
+val register : entry -> unit
+(** Add a dynamic entry (e.g. a program submitted over the serving
+    protocol) resolvable by {!find} alongside the built-ins.  Names
+    should be content-addressed — the engine's cache identity hashes
+    the workload {e name}, so two different programs must never share
+    one.  Thread-safe; re-registering a name replaces the entry;
+    built-in names are refused. *)
+
 val find : string -> entry
+(** Built-ins first, then dynamic entries; raises [Invalid_argument] on
+    unknown names. *)
+
 val names : string list
+(** Built-in names only. *)
+

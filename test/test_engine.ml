@@ -249,6 +249,13 @@ let read_file path = In_channel.with_open_bin path In_channel.input_all
 let write_file path s =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
 
+(* the cache shards records over results-<x>.jsonl by hash prefix: the
+   corruption tests damage a shard file that actually holds records *)
+let nonempty_shards () =
+  List.filter
+    (fun p -> Sys.file_exists p && read_file p <> "")
+    (List.init Cache.shard_count (Cache.shard_file test_dir))
+
 (** Fill the test cache through a real engine run; returns the specs and
     their results. *)
 let populate () =
@@ -271,10 +278,10 @@ let test_cache_torn_tail () =
   with_clean_dir (fun () ->
       let specs, _ = populate () in
       let n = List.length specs in
-      let path = Cache.file_of test_dir in
+      let path = List.hd (nonempty_shards ()) in
       let s = read_file path in
-      (* crash mid-append: the final record loses its last bytes and its
-         newline *)
+      (* crash mid-append: the shard's final record loses its last bytes
+         and its newline *)
       write_file path (String.sub s 0 (String.length s - 9));
       let c = reload () in
       Alcotest.(check int) "torn record dropped" (n - 1) (Cache.entries c);
@@ -286,7 +293,7 @@ let test_cache_garbage_line () =
   with_clean_dir (fun () ->
       let specs, _ = populate () in
       let n = List.length specs in
-      let path = Cache.file_of test_dir in
+      let path = List.hd (nonempty_shards ()) in
       (match String.split_on_char '\n' (read_file path) with
       | first :: rest ->
           write_file path (String.concat "\n" (first :: "#### not a record ####" :: rest))
@@ -301,7 +308,7 @@ let test_cache_crc_mismatch () =
   with_clean_dir (fun () ->
       let specs, _ = populate () in
       let n = List.length specs in
-      let path = Cache.file_of test_dir in
+      let path = List.hd (nonempty_shards ()) in
       let b = Bytes.of_string (read_file path) in
       (* single byte flip inside the first record's payload: the line
          stays structurally plausible, only the CRC can catch it *)
@@ -333,7 +340,8 @@ let test_cache_random_corruption =
             (fun () ->
               let specs, _ = populate () in
               let n = List.length specs in
-              let path = Cache.file_of test_dir in
+              let shards = nonempty_shards () in
+              let path = List.nth shards (pos mod List.length shards) in
               let pristine = read_file path in
               let len = String.length pristine in
               let pos = pos mod len in
@@ -372,8 +380,8 @@ let test_kill_and_resume () =
   with_clean_dir (fun () ->
       let specs, a = populate () in
       (* simulate dying mid-append after the run's flush: a torn
-         half-record with no terminating newline *)
-      let path = Cache.file_of test_dir in
+         half-record with no terminating newline on one shard *)
+      let path = List.hd (nonempty_shards ()) in
       let oc = open_out_gen [ Open_append ] 0o644 path in
       output_string oc "{\"crc\":\"00000000\",\"key\":\"torn";
       close_out oc;
