@@ -295,6 +295,15 @@ let jobs_t =
 let no_cache_t =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the on-disk result cache.")
 
+let no_snapshot_t =
+  Arg.(
+    value & flag
+    & info [ "no-snapshot" ]
+        ~doc:
+          "Run every grid job from zero instead of forking fault-injection \
+           cells from a shared copy-on-write baseline snapshot (also: \
+           DPMR_NO_SNAPSHOT=1).  Output is byte-identical either way.")
+
 let report_cmd =
   let id_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID|all|forensics")
@@ -351,8 +360,8 @@ let report_cmd =
           ~doc:"Base backoff between retry attempts, milliseconds (doubles per \
                 attempt, deterministically jittered).")
   in
-  let go id fig scale seed reps jobs no_cache chaos deadline retries backoff_ms
-      telemetry_json =
+  let go id fig scale seed reps jobs no_cache no_snapshot chaos deadline retries
+      backoff_ms telemetry_json =
     (match chaos with
     | None -> () (* DPMR_CHAOS, if set, still applies via Chaos.active *)
     | Some "0" -> Chaos.set None
@@ -375,7 +384,11 @@ let report_cmd =
       }
     in
     let jobs = if jobs <= 0 then Engine.default_jobs () else jobs in
-    let engine = Engine.create ~jobs ~use_cache:(not no_cache) ~policy () in
+    let engine =
+      Engine.create ~jobs ~use_cache:(not no_cache)
+        ~snapshots:(Sys.getenv_opt "DPMR_NO_SNAPSHOT" = None && not no_snapshot)
+        ~policy ()
+    in
     let write_telemetry () =
       match telemetry_json with
       | None -> ()
@@ -408,7 +421,8 @@ let report_cmd =
              FIG' for a traced fault grid).")
     Term.(
       const go $ id_t $ fig_t $ scale_t $ seed_t $ reps_t $ jobs_t $ no_cache_t
-      $ chaos_t $ deadline_t $ retries_t $ backoff_ms_t $ telemetry_json_t)
+      $ no_snapshot_t $ chaos_t $ deadline_t $ retries_t $ backoff_ms_t
+      $ telemetry_json_t)
 
 let cache_cmd =
   let action_t =

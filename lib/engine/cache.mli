@@ -40,7 +40,10 @@ type stats = {
   mutable misses : int;
   mutable evicted : int;  (** stale-salt lines dropped on load *)
   mutable damaged : int;  (** torn/corrupt/CRC-mismatched lines dropped on load *)
-  mutable added : int;
+  mutable added : int;  (** primary results persisted this session *)
+  mutable forked : int;
+      (** auxiliary fork-key records persisted this session (snapshot
+          federation sidecar — see {!Job.fork_hash}) *)
 }
 
 type t
@@ -61,10 +64,15 @@ val find : t -> string -> Experiment.classification option
 (** Lookup by content hash; counts a hit or a miss.  Thread-safe; only
     the key's shard is locked. *)
 
-val add : t -> key:string -> spec_repr:string -> Experiment.classification -> unit
+val add :
+  t -> ?aux:bool -> ?snap:string -> key:string -> spec_repr:string ->
+  Experiment.classification -> unit
 (** Insert and append to the key's shard (no-op if the key is already
     present).  The record is pushed to the OS immediately; every
-    [flush_every]-th append per shard also fsyncs. *)
+    [flush_every]-th append per shard also fsyncs.  [snap] records the
+    content hash of the snapshot the run resumed from (see
+    {!Job.fork_hash}).  [aux] marks a sidecar record (a fork-key
+    federation entry): counted under {!stats}.[forked], not [added]. *)
 
 val flush : t -> unit
 (** Fsync every shard with unsynced appends. *)

@@ -27,12 +27,17 @@ type t = {
   pool : Pool.t option;
       (** resident worker pool, reused across batches; [None] runs every
           batch on transient domains (the historical behaviour) *)
+  snapshots : bool;
+      (** snapshot/fork campaign execution: run each fault-injection
+          cell's warmup once as a watched baseline and fork the members
+          from its copy-on-write capture ({!Experiment.plan_group}) *)
 }
 
 let default_jobs () = Pool.default_size ()
 
 let create ?jobs ?(use_cache = true) ?(cache_dir = Cache.default_dir)
-    ?(salt = Job.default_salt) ?policy ?(progress = true) ?(resident = false) () =
+    ?(salt = Job.default_salt) ?policy ?(progress = true) ?(resident = false)
+    ?(snapshots = Sys.getenv_opt "DPMR_NO_SNAPSHOT" = None) () =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let cache = if use_cache then Some (Cache.load ~dir:cache_dir ~salt ()) else None in
   {
@@ -43,6 +48,7 @@ let create ?jobs ?(use_cache = true) ?(cache_dir = Cache.default_dir)
     supervisor = Supervisor.create ?policy ();
     progress;
     pool = (if resident && jobs > 1 then Some (Pool.create ~size:jobs ()) else None);
+    snapshots;
   }
 
 let jobs t = t.jobs
@@ -93,13 +99,103 @@ let experiment_for (spec : Job.spec) =
       Hashtbl.replace tbl key e;
       e
 
-let execute (spec : Job.spec) =
+let adjusted (spec : Job.spec) =
   let e = experiment_for spec in
-  let e =
-    if Int64.equal e.Experiment.budget spec.Job.budget then e
-    else { e with Experiment.budget = spec.Job.budget }
+  if Int64.equal e.Experiment.budget spec.Job.budget then e
+  else { e with Experiment.budget = spec.Job.budget }
+
+let execute (spec : Job.spec) =
+  Experiment.run_variant ~seed:spec.Job.run_seed (adjusted spec) spec.Job.variant
+
+(* ---------------- snapshot groups ---------------- *)
+
+(* A schedulable unit: one spec, or a whole fault-injection cell whose
+   members share the watched baseline's copy-on-write capture. *)
+type unit_ = Single of string * Job.spec | Cell of (string * Job.spec) array
+
+(* Members of one cell execute bit-identically until their own injection
+   diverges, so they must agree on everything the prefix depends on:
+   workload/scale/seeds/budget, and for the DPMR variants the full
+   configuration (the transform's coin flips are part of the prefix).
+   Golden and Nofi_dpmr jobs ARE their class's baseline — they join the
+   matching cell and inherit the watched baseline's whole outcome for
+   free instead of running separately. *)
+let cell_key (s : Job.spec) =
+  let cls =
+    match s.Job.variant with
+    | Experiment.Golden | Experiment.Fi_stdapp _ -> "std"
+    | Experiment.Nofi_dpmr cfg | Experiment.Fi_dpmr (cfg, _, _) ->
+        "dpmr:" ^ Job.config_repr cfg
   in
-  Experiment.run_variant ~seed:spec.Job.run_seed e spec.Job.variant
+  Printf.sprintf "%s;%d;%Ld;%Ld;%Ld;%s" s.Job.workload s.Job.scale s.Job.exp_seed
+    s.Job.run_seed s.Job.budget cls
+
+(* Partition a batch into schedulable units, preserving first-seen order
+   (a cell sits at its first member's position). *)
+let partition_units t to_run =
+  if not t.snapshots then List.map (fun (k, s) -> Single (k, s)) to_run
+  else begin
+    let cells : (string, (string * Job.spec) list ref) Hashtbl.t = Hashtbl.create 32 in
+    let order =
+      List.filter_map
+        (fun (key, spec) ->
+          let ck = cell_key spec in
+          match Hashtbl.find_opt cells ck with
+          | Some members ->
+              members := (key, spec) :: !members;
+              None
+          | None ->
+              let members = ref [ (key, spec) ] in
+              Hashtbl.replace cells ck members;
+              Some (`Cell members))
+        to_run
+    in
+    List.map
+      (function
+        | `One (k, s) -> Single (k, s)
+        | `Cell members -> (
+            match !members with
+            | [ (k, s) ] -> Single (k, s)
+            | ms -> Cell (Array.of_list (List.rev ms))))
+      order
+  end
+
+(* Run a whole cell on one worker: plan the shared baseline once, then
+   run each member under its own supervision.  Any planning failure
+   degrades every member to the ordinary from-zero path — never worse
+   than ungrouped execution.  Returns one result per member, tagged with
+   the snapshot hash its run actually resumed from. *)
+let run_cell t members =
+  let _, spec0 = members.(0) in
+  let e = adjusted spec0 in
+  let t_plan = Telemetry.now () in
+  let plan =
+    try
+      Some
+        (Experiment.plan_group ~seed:spec0.Job.run_seed e
+           (Array.map (fun (_, s) -> s.Job.variant) members))
+    with _ -> None
+  in
+  (* the shared planning cost (member builds + watched baseline) is
+     billed to the cell's first member so no wall time goes missing *)
+  let plan_wall = Telemetry.now () -. t_plan in
+  Array.to_list
+    (Array.mapi
+       (fun i (key, spec) ->
+         let t1 = Telemetry.now () -. (if i = 0 then plan_wall else 0.) in
+         let r, snap =
+           match plan with
+           | None ->
+               (Supervisor.run t.supervisor ~key (fun () -> execute spec), None)
+           | Some g ->
+               ( Supervisor.run t.supervisor ~key (fun () ->
+                     Experiment.run_member ~seed:spec.Job.run_seed e g i),
+                 Option.map
+                   (Printf.sprintf "%016Lx")
+                   (Experiment.member_snapshot_hash g i) )
+         in
+         ((key, spec), r, Telemetry.now () -. t1, snap))
+       members)
 
 (* ---------------- progress reporting ---------------- *)
 
@@ -145,25 +241,41 @@ let run_specs_r t specs =
       Telemetry.record_cached t.telemetry cached_count;
       let retries_before = Supervisor.retries t.supervisor in
       let to_run = List.rev_map (fun key -> (key, fst (Hashtbl.find missing key))) !order in
+      let units = partition_units t to_run in
       let ran =
         (* every job runs under supervision: deadline, retry-with-backoff
            for transient failures, quarantine for deterministic ones — a
-           failure fills its own slots and cannot abort the batch *)
-        pool_map t ?progress:(progress_fn t (List.length to_run))
-          (fun (key, spec) ->
-            let t1 = Telemetry.now () in
-            let r = Supervisor.run t.supervisor ~key (fun () -> execute spec) in
-            ((key, spec), r, Telemetry.now () -. t1))
-          to_run
+           failure fills its own slots and cannot abort the batch.  A
+           [Cell] runs whole on one worker: its members share a watched
+           baseline, but each member is still supervised individually. *)
+        pool_map t ?progress:(progress_fn t (List.length units))
+          (function
+            | Single (key, spec) ->
+                let t1 = Telemetry.now () in
+                let r = Supervisor.run t.supervisor ~key (fun () -> execute spec) in
+                [ ((key, spec), r, Telemetry.now () -. t1, None) ]
+            | Cell members -> run_cell t members)
+          units
+        |> List.concat
       in
       List.iter
-        (fun ((key, spec), r, wall) ->
+        (fun ((key, spec), r, wall, snap) ->
           let result =
             match r with
             | Ok cls ->
                 Telemetry.record_job t.telemetry ~wall ~cost:cls.Experiment.cost;
                 (match t.cache with
-                | Some c -> Cache.add c ~key ~spec_repr:(Job.repr spec) cls
+                | Some c ->
+                    Cache.add c ?snap ~key ~spec_repr:(Job.repr spec) cls;
+                    (* federation: the same result under its fork key, so
+                       another writer that captured a bit-identical
+                       baseline can serve it without re-hashing the grid *)
+                    Option.iter
+                      (fun h ->
+                        Cache.add c ~aux:true ~snap:h
+                          ~key:(Job.fork_hash ~salt:t.salt ~snap:h spec)
+                          ~spec_repr:("fork:" ^ Job.repr spec) cls)
+                      snap
                 | None -> ());
                 Experiment.Run cls
             | Error (fl : Supervisor.failure) ->

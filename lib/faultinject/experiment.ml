@@ -169,3 +169,138 @@ let memory_overhead t cfg = snd (overheads t cfg)
 let std_not_all_det t kind site =
   let c = run_variant t (Fi_stdapp (kind, site)) in
   c.sf && (not c.co) && not c.ndet
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot/fork campaign execution                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Run an already-{!prepare}d variant from zero. *)
+let run_prepared ?seed t p =
+  let seed = Option.value seed ~default:t.seed in
+  let r =
+    match p.pmode with
+    | None ->
+        Dpmr.run_plain ~seed ~budget:t.budget ~args:t.wk.args
+          ~lowered:p.plowered p.pprog
+    | Some mode ->
+        Dpmr.run_transformed ~seed ~budget:t.budget ~args:t.wk.args
+          ~lowered:p.plowered ~mode p.pprog
+  in
+  classify t r
+
+(** How one member of a snapshot group executes. *)
+type member_plan =
+  | Zero  (** no usable shared prefix: run from zero *)
+  | Inherit of Outcome.run
+      (** the watched baseline ended without reaching this member's
+          divergence frontier, so the member's run is bit-identical to
+          the baseline's — this outcome {e is} the member's outcome *)
+  | Fork of Dpmr.Vm.snapshot * (string, Dpmr_vm.Lower.func_diff) Hashtbl.t
+      (** copy-on-write state captured at the member's frontier, plus
+          the structural diff whose remaps translate the captured frames
+          into the member's register/block numbering; the member resumes
+          from it *)
+
+type group = {
+  g_variants : variant array;
+  g_prepared : prepared array;
+  g_plans : member_plan array;
+}
+
+let member_snapshot_hash g i =
+  match g.g_plans.(i) with
+  | Fork (snap, _) -> Some (Dpmr.Vm.snapshot_hash snap)
+  | Zero | Inherit _ -> None
+
+(** Plan one snapshot group: the members of a (workload, seeds, budget,
+    variant-class) campaign cell.  Prepares every member, computes each
+    one's structural divergence frontier against the class baseline —
+    the same program {e without} the injection — and runs ONE watched
+    baseline that captures the VM copy-on-write at the first arrival at
+    each member's own frontier.  Execution up to a member's frontier is
+    bit-identical to that member's from-zero run, so forks inherit the
+    shared warmup instead of replaying it; members whose frontier is
+    never reached inherit the baseline's entire outcome, and the
+    baseline stops early once every member is resolved.  Anything that
+    makes sharing unsound (differing globals or signatures, capture
+    inside an extern callback, active tracing) degrades that member —
+    or the whole plan — to from-zero execution: identical results, just
+    no speedup. *)
+let plan_group ?seed t variants =
+  let seed = Option.value seed ~default:t.seed in
+  let prepared = Array.map (prepare t) variants in
+  let plans = Array.map (fun _ -> Zero) variants in
+  let group = { g_variants = variants; g_prepared = prepared; g_plans = plans } in
+  (* the cell is homogeneous by construction (one variant class, one
+     config), so the first member names the baseline; Golden and
+     Nofi_dpmr members diff empty against it and ride the baseline run
+     as whole-outcome inherits *)
+  let bp =
+    match variants.(0) with
+    | Golden | Fi_stdapp _ -> prepare t Golden
+    | Nofi_dpmr cfg | Fi_dpmr (cfg, _, _) -> prepare t (Nofi_dpmr cfg)
+  in
+  (let diffs =
+     Array.map
+       (fun p -> Dpmr_vm.Lower.diff_limits bp.plowered p.plowered)
+       prepared
+   in
+   let feas =
+     List.filter
+       (fun i -> diffs.(i) <> None)
+       (List.init (Array.length variants) Fun.id)
+   in
+   if feas <> [] then
+     let limitss =
+       Array.of_list
+         (List.map
+            (fun i -> Dpmr_vm.Lower.limit_table (Option.get diffs.(i)))
+            feas)
+     in
+     let watched () =
+       match bp.pmode with
+       | None ->
+           Dpmr.watched_plain ~seed ~budget:t.budget ~args:t.wk.args
+             ~lowered:bp.plowered bp.pprog limitss
+       | Some mode ->
+           Dpmr.watched_transformed ~seed ~budget:t.budget ~args:t.wk.args
+             ~lowered:bp.plowered ~mode bp.pprog limitss
+     in
+     match watched () with
+     | results ->
+         List.iteri
+           (fun j i ->
+             plans.(i) <-
+               (match results.(j) with
+               | Dpmr.Vm.Wsnap snap -> Fork (snap, Option.get diffs.(i))
+               | Dpmr.Vm.Wshared r -> Inherit r
+               | Dpmr.Vm.Wzero -> Zero))
+           feas
+     | exception Dpmr.Vm.Watch_infeasible -> ());
+  group
+
+(** Run member [i] of a planned group.  Deterministic — safe to re-run
+    on supervisor retries — and bit-identical to
+    [run_variant ~seed t g.g_variants.(i)]. *)
+let run_member ?seed t g i =
+  let seed = Option.value seed ~default:t.seed in
+  let p = g.g_prepared.(i) in
+  match g.g_plans.(i) with
+  | Zero -> run_prepared ~seed t p
+  | Inherit r -> classify t r
+  | Fork (snap, diffs) ->
+      let remap fname =
+        match Hashtbl.find_opt diffs fname with
+        | Some fd -> fd.Dpmr_vm.Lower.fd_remap
+        | None -> None
+      in
+      let r =
+        match p.pmode with
+        | None ->
+            Dpmr.resume_plain ~seed ~budget:t.budget ~lowered:p.plowered
+              ~remap p.pprog snap
+        | Some mode ->
+            Dpmr.resume_transformed ~seed ~budget:t.budget ~lowered:p.plowered
+              ~remap ~mode p.pprog snap
+      in
+      classify t r

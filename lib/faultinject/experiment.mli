@@ -68,6 +68,7 @@ type t = {
 val make : ?seed:int64 -> workload -> t
 
 val classify : t -> Outcome.run -> classification
+val prepare : t -> variant -> prepared
 val run_variant : ?seed:int64 -> t -> variant -> classification
 val sites : t -> Inject.kind -> Inject.site list
 
@@ -88,3 +89,35 @@ val memory_overhead : t -> Config.t -> float
 (** [StdNotAllDet] for one fault: fi-stdapp produced incorrect output
     without natural detection. *)
 val std_not_all_det : t -> Inject.kind -> Inject.site -> bool
+
+(** {1 Snapshot/fork campaign execution}
+
+    A campaign cell's members (same workload, seeds, budget and variant
+    class) differ only by injection site: each one's executed
+    instruction stream is bit-identical to the {e uninjected} baseline
+    until it first reaches its own divergence position.  {!plan_group}
+    runs one watched baseline per cell and captures a copy-on-write
+    snapshot at the first arrival at any member's position; feasible
+    members then {!run_member} by resuming from the capture instead of
+    replaying the shared warmup.  Every infeasibility degrades to
+    from-zero execution with identical results. *)
+
+val run_prepared : ?seed:int64 -> t -> prepared -> classification
+
+type member_plan =
+  | Zero
+  | Inherit of Outcome.run
+  | Fork of Dpmr_vm.Vm.snapshot * (string, Dpmr_vm.Lower.func_diff) Hashtbl.t
+
+type group = {
+  g_variants : variant array;
+  g_prepared : prepared array;
+  g_plans : member_plan array;
+}
+
+(** Content hash of the snapshot member [i] forks from, when one was
+    captured — a finer-grained cache-key component. *)
+val member_snapshot_hash : group -> int -> int64 option
+
+val plan_group : ?seed:int64 -> t -> variant array -> group
+val run_member : ?seed:int64 -> t -> group -> int -> classification

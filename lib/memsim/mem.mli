@@ -14,7 +14,13 @@
     Accesses to an unmapped page raise {!Fault} — a crash, which the
     experiment classification counts as natural detection (§3.6).  Pages
     are filled with deterministic garbage when first mapped, so
-    uninitialized heap/stack reads see arbitrary but reproducible data. *)
+    uninitialized heap/stack reads see arbitrary but reproducible data.
+
+    Pages live in dense per-segment tables (array index per access, no
+    hashing), which doubles as the snapshot representation: {!freeze}
+    captures the page pointers in O(table) and marks every page
+    copy-on-write, so forks created by {!thaw} and the frozen parent
+    never observe each other's writes. *)
 
 type fault =
   | Unmapped of int64
@@ -33,14 +39,20 @@ val heap_base : int64
 type fill = Fill_zero | Fill_garbage
 
 type t = {
-  pages : (int, Bytes.t) Hashtbl.t;
   seed : int64;
   mutable mapped_pages : int;  (** footprint statistic *)
-  mutable cached_idx : int;
-      (** one-entry page cache (index of [cached_page], [-1] when empty);
-          pages are never unmapped or replaced, so it cannot go stale *)
-  mutable cached_page : Bytes.t;
+  mutable g_tbl : Bytes.t array;  (** globals pages, indexed from page 0 *)
+  mutable g_shr : Bytes.t;  (** share flags parallel to [g_tbl] *)
+  mutable s_tbl : Bytes.t array;  (** stack pages, from [stack_base] *)
+  mutable s_shr : Bytes.t;
+  mutable h_tbl : Bytes.t array;  (** heap pages, from [heap_base] *)
+  mutable h_shr : Bytes.t;
+  mutable chain : int64;  (** chained content hash as of the last freeze *)
 }
+
+(** Immutable snapshot of an address space.  Shares page storage with
+    live memories; copy-on-write keeps it unchanged under their writes. *)
+type frozen
 
 val create : ?seed:int64 -> unit -> t
 val map_page : t -> int -> fill -> unit
@@ -68,3 +80,23 @@ val fill : t -> int64 -> int -> int -> unit
 
 (** memmove semantics (overlap-safe copy). *)
 val move : t -> dst:int64 -> src:int64 -> int -> unit
+
+(** {1 Copy-on-write snapshots} *)
+
+(** Capture the current state.  O(table), not O(heap): pages are shared
+    with the snapshot and copied lazily on the next write from either
+    side.  Advances the memory's chained content hash over every page
+    dirtied since the previous freeze. *)
+val freeze : t -> frozen
+
+(** Rebuild a live, independently mutable memory from a snapshot in
+    O(table).  Writes to the result never touch the snapshot or any
+    other fork of it. *)
+val thaw : frozen -> t
+
+(** Chained content hash of the frozen state: equal hashes imply equal
+    content (same write history from the same root); deterministic
+    across processes, so it can serve as a cache-key component. *)
+val frozen_hash : frozen -> int64
+
+val frozen_pages : frozen -> int

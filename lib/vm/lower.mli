@@ -59,6 +59,11 @@ and lterm =
           load-check compiled by the diversity transform.  The booleans say
           which targets are detection blocks; execution is identical to
           [Lcbr] apart from trace-sink reporting. *)
+  | Lcmpbr of int * Inst.icond * width * lop * lop * starget * starget
+      (** fused [Licmp] + [Lcbr] branching on the compare's destination
+          register; still writes the register and charges both costs *)
+  | Lcmpcheck of int * Inst.icond * width * lop * lop * starget * starget * bool * bool
+      (** fused [Licmp] + [Lcheck] *)
   | Lret of lop option
   | Lunreachable of string  (** pre-formatted error message *)
 
@@ -87,6 +92,18 @@ and linst =
   | Lselect of int * lop * lop * lop
   | Lcall of int option * lcallee * lop array * int  (** pre-computed cost *)
   | Lpoison of exn  (** static resolution failed; re-raise when executed *)
+  | Lload_idx of int * lkind * int * int * lop * lop
+      (** fused [Lgep_index]+[Lload]: dest reg, kind, addr reg, elem size,
+          base, index — identical effect sequence, one dispatch *)
+  | Lstore_idx of lkind * lop * int * int * lop * lop
+      (** fused [Lgep_index]+[Lstore]: kind, value, addr reg, elem size,
+          base, index *)
+  | Lload_fld of int * lkind * int * int * lop
+      (** fused [Lgep_field]+[Lload]: dest reg, kind, addr reg, byte
+          offset, base *)
+  | Lstore_fld of lkind * lop * int * int * lop
+      (** fused [Lgep_field]+[Lstore]: kind, value, addr reg, byte offset,
+          base *)
 
 type prog = {
   funcs : (string, lfunc) Hashtbl.t;
@@ -101,3 +118,42 @@ type prog = {
     the result is immutable and may be shared by any number of VMs
     executing the same (unmodified) program. *)
 val lower_prog : Prog.t -> prog
+
+(** {1 Structural divergence, for snapshot/fork campaign execution} *)
+
+(** Baseline-index → member-index correspondence for one function, as
+    discovered by the alpha matcher of {!diff_limits}: fault injection
+    inserts code mid-function, shifting every builder-assigned register
+    and block index downstream of the site, so structural comparison is
+    done modulo this bijection.  [-1] = never matched (the entry is dead
+    below the divergence frontier).  {!Vm.resume} uses it to translate a
+    captured baseline frame into the member's numbering. *)
+type remap = {
+  rm_regs : int array;  (** baseline register → member register *)
+  rm_blocks : int array;  (** baseline block id → member block id *)
+}
+
+type func_diff = {
+  fd_limits : int array;
+      (** per baseline block: first instruction index at which the
+          programs differ modulo the remap ([Array.length linsts] =
+          terminator-only difference, [max_int] = matched block) *)
+  fd_remap : remap option;  (** [None] = identity (pure positional match) *)
+}
+
+(** [diff_limits base fi] — per-function structural divergence of [fi]
+    against [base], modulo register/block renaming; functions absent
+    from the table are positionally identical.  Executing [base] is
+    bit-identical (modulo the remap, invisible to behaviour) to
+    executing [fi] until the first arrival at a limit position.  [None]
+    when no common prefix exists (globals or function set differ). *)
+val diff_limits : prog -> prog -> (string, func_diff) Hashtbl.t option
+
+(** Watch-limit projection of a member diff: what {!Vm.run_watched}
+    consumes.  Limit arrays are shared with the diff, not copied. *)
+val limit_table :
+  (string, func_diff) Hashtbl.t -> (string, int array) Hashtbl.t
+
+(** Elementwise-minimum merge of watch limits into the first table. *)
+val merge_limits :
+  (string, int array) Hashtbl.t -> (string, int array) Hashtbl.t -> unit

@@ -43,7 +43,7 @@ let specs_fixture () =
 let check_cls = Alcotest.testable
     (fun ppf (c : Experiment.classification) ->
       Fmt.string ppf
-        (Job.entry_to_line { Job.key = ""; salt = ""; spec_repr = ""; cls = c }))
+        (Job.entry_to_line { Job.key = ""; salt = ""; spec_repr = ""; snap = None; cls = c }))
     ( = )
 
 (* ---- job model ---- *)
@@ -77,6 +77,7 @@ let test_jsonl_roundtrip () =
           Job.key = "00ff";
           salt = Job.default_salt;
           spec_repr = "w=\"quoted\";\ttab";
+          snap = Some "0123456789abcdef";
           cls = cls t2d;
         }
       in
@@ -85,6 +86,7 @@ let test_jsonl_roundtrip () =
           Alcotest.(check string) "key" e.Job.key e'.Job.key;
           Alcotest.(check string) "salt" e.Job.salt e'.Job.salt;
           Alcotest.(check string) "spec" e.Job.spec_repr e'.Job.spec_repr;
+          Alcotest.(check (option string)) "snap" e.Job.snap e'.Job.snap;
           Alcotest.check check_cls "classification" e.Job.cls e'.Job.cls
       | None -> Alcotest.fail "round-trip parse failed")
     [ Some 99L; None ];
@@ -179,7 +181,7 @@ let test_pool_map_results_per_slot () =
 (* ---- determinism guard: serial vs multi-domain ---- *)
 
 let lines_of cs =
-  List.map (fun c -> Job.entry_to_line { Job.key = ""; salt = ""; spec_repr = ""; cls = c }) cs
+  List.map (fun c -> Job.entry_to_line { Job.key = ""; salt = ""; spec_repr = ""; snap = None; cls = c }) cs
 
 let test_parallel_determinism () =
   let specs = specs_fixture () in
@@ -219,11 +221,17 @@ let test_cache_hits_second_run () =
 let test_cache_stale_salt_misses () =
   with_clean_dir (fun () ->
       let specs = specs_fixture () in
-      let e1 = Engine.create ~jobs:1 ~cache_dir:test_dir ~salt:"code-v1" ~progress:false () in
+      let e1 =
+        Engine.create ~jobs:1 ~cache_dir:test_dir ~salt:"code-v1" ~snapshots:false
+          ~progress:false ()
+      in
       ignore (Engine.run_specs e1 specs);
       (* same specs under a bumped code-version salt: nothing may be
          served, and loading evicts every stale line *)
-      let e2 = Engine.create ~jobs:1 ~cache_dir:test_dir ~salt:"code-v2" ~progress:false () in
+      let e2 =
+        Engine.create ~jobs:1 ~cache_dir:test_dir ~salt:"code-v2" ~snapshots:false
+          ~progress:false ()
+      in
       ignore (Engine.run_specs e2 specs);
       let s2 = Option.get (Engine.cache_stats e2) in
       Alcotest.(check int) "stale salt: zero hits" 0 s2.Cache.hits;
@@ -235,12 +243,57 @@ let test_cache_stale_salt_misses () =
 let test_cache_clear () =
   with_clean_dir (fun () ->
       let specs = specs_fixture () in
-      let e1 = Engine.create ~jobs:1 ~cache_dir:test_dir ~progress:false () in
+      let e1 =
+        Engine.create ~jobs:1 ~cache_dir:test_dir ~snapshots:false ~progress:false ()
+      in
       ignore (Engine.run_specs e1 specs);
       Alcotest.(check int) "clear reports entry count" (List.length specs)
         (Cache.clear ~dir:test_dir ());
       let d = Cache.disk_stats ~dir:test_dir ~salt:Job.default_salt () in
       Alcotest.(check int) "empty after clear" 0 d.Cache.total)
+
+(* ---- snapshot fork-key federation ---- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_cache_fork_sidecar () =
+  with_clean_dir (fun () ->
+      let specs = specs_fixture () in
+      let e1 = Engine.create ~jobs:1 ~cache_dir:test_dir ~progress:false () in
+      let a = Engine.run_specs e1 specs in
+      let s1 = Option.get (Engine.cache_stats e1) in
+      (* fork-key records are sidecars: counted under [forked], never
+         inflating the primary [added] count the grid reasons about *)
+      Alcotest.(check bool) "sidecar entries recorded" true (s1.Cache.forked > 0);
+      Alcotest.(check int) "primary entries unaffected" (List.length specs)
+        s1.Cache.added;
+      Engine.close e1;
+      let raw =
+        String.concat ""
+          (List.filter_map
+             (fun p ->
+               let p = Cache.shard_file test_dir p in
+               if Sys.file_exists p then
+                 Some (In_channel.with_open_bin p In_channel.input_all)
+               else None)
+             (List.init Cache.shard_count Fun.id))
+      in
+      Alcotest.(check bool) "sidecar records on disk" true (contains raw "fork:");
+      Alcotest.(check bool) "sidecars carry the snapshot hash" true
+        (contains raw "\"snap\"");
+      (* a fresh engine still serves every primary spec from cache, and
+         the snapshot-tagged lines survive a verify-grade reload *)
+      let e2 = Engine.create ~jobs:1 ~cache_dir:test_dir ~progress:false () in
+      let b = Engine.run_specs e2 specs in
+      let s2 = Option.get (Engine.cache_stats e2) in
+      Alcotest.(check int) "second run: all hits" (List.length specs) s2.Cache.hits;
+      Alcotest.(check (list string)) "results identical" (lines_of a) (lines_of b);
+      Engine.close e2;
+      let d = Cache.disk_stats ~dir:test_dir ~salt:Job.default_salt () in
+      Alcotest.(check int) "no damaged lines" 0 d.Cache.damaged)
 
 (* ---- crash durability: corruption recovery, flush, resume ---- *)
 
@@ -258,9 +311,13 @@ let nonempty_shards () =
 
 (** Fill the test cache through a real engine run; returns the specs and
     their results. *)
+(* snapshots off: these tests assert exact on-disk line counts, which
+   fork-key sidecar records (snapshot federation) would shift *)
 let populate () =
   let specs = specs_fixture () in
-  let e = Engine.create ~jobs:1 ~cache_dir:test_dir ~progress:false () in
+  let e =
+    Engine.create ~jobs:1 ~cache_dir:test_dir ~snapshots:false ~progress:false ()
+  in
   let rs = Engine.run_specs e specs in
   (specs, rs)
 
@@ -424,6 +481,8 @@ let suites =
         Alcotest.test_case "cache: stale code-version salt misses" `Quick
           test_cache_stale_salt_misses;
         Alcotest.test_case "cache: clear" `Quick test_cache_clear;
+        Alcotest.test_case "cache: snapshot fork-key sidecar records" `Quick
+          test_cache_fork_sidecar;
         Alcotest.test_case "cache: torn tail dropped and repaired" `Quick
           test_cache_torn_tail;
         Alcotest.test_case "cache: garbage line dropped, records kept" `Quick
