@@ -1,6 +1,13 @@
 (* Per-instruction-class allocation probe: tight IR loops of one
-   instruction class, run through the lowered engine, bytes allocated per
-   executed instruction printed for each. *)
+   instruction class, run through the lowered engine and the compiled
+   tier, bytes allocated per executed instruction printed for each.
+
+   The compiled column is asserted ~0: once a function's closures are
+   built (cached on the shared lowered program), the steady-state loop
+   must be allocation-free — operand shapes are pre-bound, block and
+   terminator closures return immediate ints, and the frame is the same
+   unboxed lframe the lowered engine uses.  The simulated cost must also
+   agree across tiers exactly. *)
 open Dpmr_ir
 open Types
 open Inst
@@ -18,15 +25,34 @@ let mk_prog fill =
   B.ret b (Some (B.i32c 0));
   p
 
-let probe label fill =
-  let p = mk_prog fill in
-  let r0 = Dpmr.run_plain p in
+let with_tier mode f =
+  let old = Vm.tier_mode () in
+  Vm.set_tier_mode mode;
+  Fun.protect ~finally:(fun () -> Vm.set_tier_mode old) f
+
+(* steady-state bytes/iteration: one warmup run (which also compiles,
+   under the compiled tier — the closures cache on [lowered]), then one
+   measured run *)
+let steady_state lowered p =
+  let r0 = Dpmr.run_plain ~lowered p in
   assert (r0.Dpmr_vm.Outcome.outcome = Dpmr_vm.Outcome.Normal);
   let a0 = Gc.allocated_bytes () in
-  let _ = Dpmr.run_plain p in
+  let _ = Dpmr.run_plain ~lowered p in
   let a1 = Gc.allocated_bytes () in
-  Printf.printf "%-20s %8.1f B/loop-iter  (cost %Ld)\n%!" label
-    ((a1 -. a0) /. float_of_int n) r0.Dpmr_vm.Outcome.cost
+  ((a1 -. a0) /. float_of_int n, r0.Dpmr_vm.Outcome.cost)
+
+let probe label fill =
+  let p = mk_prog fill in
+  let lowered = Dpmr_vm.Lower.lower_prog p in
+  let low, cost = with_tier Vm.Tier_lowered (fun () -> steady_state lowered p) in
+  let comp, cost' =
+    with_tier Vm.Tier_compiled (fun () -> steady_state lowered p)
+  in
+  Printf.printf "%-20s lowered %8.1f B/loop-iter   compiled %8.1f B/loop-iter  (cost %Ld)\n%!"
+    label low comp cost;
+  assert (Int64.equal cost cost');
+  (* allocation-free modulo per-run VM setup amortized over [n] iters *)
+  assert (comp < 0.5)
 
 let () =
   probe "alu add" (fun b ->

@@ -360,8 +360,23 @@ let report_cmd =
           ~doc:"Base backoff between retry attempts, milliseconds (doubles per \
                 attempt, deterministically jittered).")
   in
+  let tier_t =
+    Arg.(
+      value
+      & opt (some (enum [ ("auto", Dpmr_vm.Vm.Tier_auto);
+                          ("ref", Dpmr_vm.Vm.Tier_ref);
+                          ("lowered", Dpmr_vm.Vm.Tier_lowered);
+                          ("compiled", Dpmr_vm.Vm.Tier_compiled) ])) None
+      & info [ "tier" ] ~docv:"auto|ref|lowered|compiled"
+          ~doc:
+            "Force the execution tier (overrides DPMR_TIER): the reference \
+             tree-walker, the lowered interpreter only, or closure-compilation \
+             of every function at first entry.  Output is byte-identical \
+             across tiers.")
+  in
   let go id fig scale seed reps jobs no_cache no_snapshot chaos deadline retries
-      backoff_ms telemetry_json =
+      backoff_ms telemetry_json tier =
+    (match tier with None -> () | Some m -> Dpmr_vm.Vm.set_tier_mode m);
     (match chaos with
     | None -> () (* DPMR_CHAOS, if set, still applies via Chaos.active *)
     | Some "0" -> Chaos.set None
@@ -396,7 +411,9 @@ let report_cmd =
           let oc = open_out file in
           output_string oc
             (Telemetry.to_json (Engine.telemetry engine) ~workers:(Engine.jobs engine)
-               ~cache:(Engine.cache_stats engine));
+               ~cache:(Engine.cache_stats engine)
+               ~tier:(Dpmr_vm.Vm.tier_stats ())
+               ~plan_memo:(Dpmr_fi.Experiment.diff_memo_stats ()));
           close_out oc
     in
     (* a SIGINT/SIGTERM mid-grid keeps everything finished so far: the
@@ -422,7 +439,7 @@ let report_cmd =
     Term.(
       const go $ id_t $ fig_t $ scale_t $ seed_t $ reps_t $ jobs_t $ no_cache_t
       $ no_snapshot_t $ chaos_t $ deadline_t $ retries_t $ backoff_ms_t
-      $ telemetry_json_t)
+      $ telemetry_json_t $ tier_t)
 
 let cache_cmd =
   let action_t =
@@ -457,6 +474,18 @@ let cache_cmd =
     in
     Printf.printf "rate    : %.1f%% current (servable), %.1f%% stale-salt\n"
       (pct s.Cache.current) (pct s.Cache.stale);
+    let populated =
+      Array.fold_left
+        (fun n (sh : Cache.shard_stats) -> if sh.Cache.sh_records > 0 then n + 1 else n)
+        0 s.Cache.per_shard
+    in
+    let widest =
+      Array.fold_left
+        (fun m (sh : Cache.shard_stats) -> max m sh.Cache.sh_records)
+        0 s.Cache.per_shard
+    in
+    Printf.printf "shards  : %d/%d populated (largest %d record(s))\n" populated
+      Cache.shard_count widest;
     Printf.printf "size    : %d bytes\n" s.Cache.bytes;
     Printf.printf "salt    : %s\n" Job.default_salt
   in

@@ -22,7 +22,7 @@ let detect what = raise (Vm.Dpmr_detected ("efw:" ^ what))
 let detect_at vm what ~app ~off =
   (match vm.Vm.trace with
   | Some s ->
-      Trace.emit_detect s ~cost:vm.Vm.cost ~what:("efw:" ^ what) ~addr:app ~off
+      Trace.emit_detect s ~cost:!(vm.Vm.cost) ~what:("efw:" ^ what) ~addr:app ~off
   | None -> ());
   detect what
 
@@ -73,7 +73,7 @@ let check_bytes vm what a b n =
   in
   go 0;
   match vm.Vm.trace with
-  | Some s -> Trace.emit_compare s ~cost:vm.Vm.cost ~app:a ~rep:b ~len:n
+  | Some s -> Trace.emit_compare s ~cost:!(vm.Vm.cost) ~app:a ~rep:b ~len:n
   | None -> ()
 
 (** Check the NUL-terminated string at [a] against its replica (the
@@ -88,7 +88,7 @@ let check_cstr vm what a a_r =
 let mirror vm ~app ~rep n =
   Vm.add_cost vm ((n / 4) + 2);
   (match vm.Vm.trace with
-  | Some s -> Trace.emit_mirror s ~cost:vm.Vm.cost ~app ~rep ~len:n
+  | Some s -> Trace.emit_mirror s ~cost:!(vm.Vm.cost) ~app ~rep ~len:n
   | None -> ());
   Mem.move vm.Vm.mem ~dst:rep ~src:app n
 

@@ -331,6 +331,12 @@ let clear ?(dir = default_dir) () =
   (try Sys.rmdir dir with Sys_error _ -> ());
   n
 
+type shard_stats = {
+  sh_records : int;  (** intact entries in this shard file *)
+  sh_current : int;  (** of those, entries under the given salt *)
+  sh_damaged : int;  (** torn, corrupt or CRC-mismatched lines *)
+}
+
 type disk_stats = {
   path : string;
   files : int;  (** shard files present on disk (plus any legacy file) *)
@@ -340,6 +346,9 @@ type disk_stats = {
   damaged : int;  (** torn, corrupt or CRC-mismatched lines *)
   torn_tail : bool;  (** some file ends in an unterminated record *)
   bytes : int;
+  per_shard : shard_stats array;
+      (** one slot per shard file ([shard_count] of them; the legacy
+          single file, when present, counts toward the totals only) *)
 }
 
 let disk_stats ?(dir = default_dir) ~salt () =
@@ -347,26 +356,43 @@ let disk_stats ?(dir = default_dir) ~salt () =
   let total = ref 0 and current = ref 0 and damaged = ref 0 in
   let torn_tail = ref false in
   let bytes = ref 0 in
-  List.iter
-    (fun path ->
-      if Sys.file_exists path then begin
-        incr files;
-        bytes := !bytes + (Unix.stat path).Unix.st_size;
-        let lines, torn = read_raw path in
-        if torn then begin
-          torn_tail := true;
-          incr damaged
-        end;
-        List.iter
-          (fun l ->
-            match decode l with
-            | Damaged -> incr damaged
-            | Entry e ->
-                incr total;
-                if e.Job.salt = salt then incr current)
-          lines
-      end)
-    (all_files dir);
+  let per_shard =
+    Array.make shard_count { sh_records = 0; sh_current = 0; sh_damaged = 0 }
+  in
+  let scan ?shard path =
+    if Sys.file_exists path then begin
+      incr files;
+      bytes := !bytes + (Unix.stat path).Unix.st_size;
+      let records = ref 0 and cur = ref 0 and dam = ref 0 in
+      let lines, torn = read_raw path in
+      if torn then begin
+        torn_tail := true;
+        incr damaged;
+        incr dam
+      end;
+      List.iter
+        (fun l ->
+          match decode l with
+          | Damaged ->
+              incr damaged;
+              incr dam
+          | Entry e ->
+              incr total;
+              incr records;
+              if e.Job.salt = salt then begin
+                incr current;
+                incr cur
+              end)
+        lines;
+      match shard with
+      | Some i ->
+          per_shard.(i) <-
+            { sh_records = !records; sh_current = !cur; sh_damaged = !dam }
+      | None -> ()
+    end
+  in
+  scan (file_of dir);
+  List.iteri (fun i path -> scan ~shard:i path) (List.init shard_count (shard_file dir));
   {
     path = dir;
     files = !files;
@@ -376,6 +402,7 @@ let disk_stats ?(dir = default_dir) ~salt () =
     damaged = !damaged;
     torn_tail = !torn_tail;
     bytes = !bytes;
+    per_shard;
   }
 
 let disk_stats_to_json (s : disk_stats) =
@@ -394,6 +421,16 @@ let disk_stats_to_json (s : disk_stats) =
       Printf.sprintf "  \"servable_pct\": %.1f,\n" (pct s.current);
       Printf.sprintf "  \"damaged\": %d,\n" s.damaged;
       Printf.sprintf "  \"torn_tail\": %b,\n" s.torn_tail;
-      Printf.sprintf "  \"bytes\": %d\n" s.bytes;
+      Printf.sprintf "  \"bytes\": %d,\n" s.bytes;
+      "  \"per_shard\": [\n";
+      String.concat ",\n"
+        (Array.to_list
+           (Array.mapi
+              (fun i (sh : shard_stats) ->
+                Printf.sprintf
+                  "    { \"shard\": %d, \"records\": %d, \"current\": %d, \"damaged\": %d }"
+                  i sh.sh_records sh.sh_current sh.sh_damaged)
+              s.per_shard));
+      "\n  ]\n";
       "}\n";
     ]

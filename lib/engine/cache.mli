@@ -84,6 +84,12 @@ val clear : ?dir:string -> unit -> int
 (** Delete all shard files, the legacy file and any compaction temp
     files; returns the number of intact entries removed. *)
 
+type shard_stats = {
+  sh_records : int;  (** intact entries in this shard file *)
+  sh_current : int;  (** of those, entries under the given salt *)
+  sh_damaged : int;  (** torn, corrupt or CRC-mismatched lines *)
+}
+
 type disk_stats = {
   path : string;  (** the cache directory *)
   files : int;  (** jsonl files present (shards plus any legacy file) *)
@@ -93,6 +99,12 @@ type disk_stats = {
   damaged : int;  (** torn, corrupt or CRC-mismatched lines *)
   torn_tail : bool;  (** some file ends in an unterminated record *)
   bytes : int;
+  per_shard : shard_stats array;
+      (** one slot per shard file; the legacy single file, when present,
+          counts toward the totals only.  Federated writers hash jobs
+          across shards, so the [cache stats --json] consumer (the CI
+          federated-cache verify step) can check the spread and pin
+          damage to a shard. *)
 }
 
 val disk_stats : ?dir:string -> salt:string -> unit -> disk_stats

@@ -69,7 +69,16 @@ let speedup_estimate t =
   if t.wall_seconds > 1e-6 && t.busy_seconds > 0. then Some (t.busy_seconds /. t.wall_seconds)
   else None
 
-let summary_lines t ~workers ~(cache : Cache.stats option) =
+(* [tier] = (functions promoted, deopts) from [Vm.tier_stats]; [plan_memo]
+   = (hits, misses) of the snapshot planner's divergence-diff cache
+   ([Experiment.diff_memo_stats]).  Both are process-global counters the
+   engine samples at summary time; passed in rather than read here to
+   keep this module free of VM/experiment dependencies.  Only surfaced
+   when the subsystem actually fired, so historical summary shapes are
+   preserved. *)
+
+let summary_lines ?(tier = (0, 0)) ?(plan_memo = (0, 0)) t ~workers
+    ~(cache : Cache.stats option) =
   let total = t.jobs_run + t.jobs_cached + t.jobs_failed in
   let degraded =
     (* only surfaced when the supervisor actually intervened, so healthy
@@ -104,7 +113,25 @@ let summary_lines t ~workers ~(cache : Cache.stats option) =
     Printf.sprintf "[engine] time: busy %.2fs, wall %.2fs over %d batch(es)%s; sim cost %Ld units"
       t.busy_seconds t.wall_seconds t.batches speed t.cost_units
   in
-  let base = [ first; cache_line; time_line ] in
+  let tier_lines =
+    let promoted, deopts = tier in
+    let hits, misses = plan_memo in
+    let looked = hits + misses in
+    if promoted = 0 && deopts = 0 && looked = 0 then []
+    else
+      let memo =
+        if looked = 0 then ""
+        else
+          Printf.sprintf "; plan diff memo %d hits / %d lookups (%.1f%%)"
+            hits looked
+            (100. *. float_of_int hits /. float_of_int looked)
+      in
+      [
+        Printf.sprintf "[engine] tier: %d function(s) promoted, %d deopt(s)%s"
+          promoted deopts memo;
+      ]
+  in
+  let base = [ first; cache_line; time_line ] @ tier_lines in
   (* only surfaced when a trace sink actually recorded something, so
      untraced runs keep the historical summary shape *)
   let tr = t.trace in
@@ -122,7 +149,8 @@ let summary_lines t ~workers ~(cache : Cache.stats option) =
 (** Machine-readable snapshot of everything {!summary_lines} reports
     (plus the raw fields), for CI trend tracking.  One flat JSON object;
     keys are stable, floats fixed-precision, absent subsystems [null]. *)
-let to_json t ~workers ~(cache : Cache.stats option) =
+let to_json ?(tier = (0, 0)) ?(plan_memo = (0, 0)) t ~workers
+    ~(cache : Cache.stats option) =
   let b = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
@@ -151,6 +179,16 @@ let to_json t ~workers ~(cache : Cache.stats option) =
       add
         "  \"cache\": { \"hits\": %d, \"lookups\": %d, \"hit_rate_pct\": %.1f, \"added\": %d, \"evicted\": %d, \"damaged\": %d },\n"
         c.Cache.hits looked pct c.Cache.added c.Cache.evicted c.Cache.damaged);
+  (let promoted, deopts = tier in
+   add "  \"tier\": { \"promoted\": %d, \"deopts\": %d },\n" promoted deopts);
+  (let hits, misses = plan_memo in
+   let looked = hits + misses in
+   let pct =
+     if looked = 0 then 0. else 100. *. float_of_int hits /. float_of_int looked
+   in
+   add
+     "  \"plan_memo\": { \"hits\": %d, \"lookups\": %d, \"hit_rate_pct\": %.1f },\n"
+     hits looked pct);
   let tr = t.trace in
   add
     "  \"trace\": { \"emitted\": %d, \"dropped\": %d, \"comparisons\": %d, \"detections\": %d, \"fi_marks\": %d }\n"

@@ -33,8 +33,26 @@ val speedup_estimate : t -> float option
 (** Busy time over batch wall time — the engine's advantage over running
     every executed job back-to-back on one domain. *)
 
-val summary_lines : t -> workers:int -> cache:Cache.stats option -> string list
+val summary_lines :
+  ?tier:int * int ->
+  ?plan_memo:int * int ->
+  t ->
+  workers:int ->
+  cache:Cache.stats option ->
+  string list
+(** [tier] = (functions promoted, deopts) from [Vm.tier_stats];
+    [plan_memo] = (hits, misses) of the snapshot planner's
+    divergence-diff cache ([Experiment.diff_memo_stats]).  Passed in by
+    the engine at summary time to keep this module free of VM and
+    experiment dependencies; a tier line appears only when either
+    counter pair is non-zero, preserving historical summary shapes. *)
 
-val to_json : t -> workers:int -> cache:Cache.stats option -> string
+val to_json :
+  ?tier:int * int ->
+  ?plan_memo:int * int ->
+  t ->
+  workers:int ->
+  cache:Cache.stats option ->
+  string
 (** Machine-readable snapshot of the campaign (the [--telemetry-json]
     payload): one JSON object with stable keys. *)

@@ -27,6 +27,7 @@ let k_compare = 9
 let k_detect = 10
 let k_fi_mark = 11
 let k_phase = 12
+let k_tier = 13
 
 type t = {
   buf : Bytes.t;
@@ -145,6 +146,24 @@ let[@inline] emit_fi_mark t ~cost =
 let emit_phase t ~label =
   put t k_phase (t.clock ()) (Int64.of_int (intern t label)) 0L 0L
 
+type transition = Tier_refused | Tier_promote | Tier_deopt
+
+let int_of_transition = function
+  | Tier_refused -> 0
+  | Tier_promote -> 1
+  | Tier_deopt -> 2
+
+let transition_of_int = function
+  | 0 -> Tier_refused
+  | 1 -> Tier_promote
+  | _ -> Tier_deopt
+
+let emit_tier t ~cost ~fname ~transition =
+  put t k_tier cost
+    (Int64.of_int (intern t fname))
+    (Int64.of_int (int_of_transition transition))
+    0L
+
 (* ---- domain-local installation --------------------------------------- *)
 
 let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
@@ -171,6 +190,7 @@ type event =
   | Detect of { what : string; addr : int64; off : int }
   | Fi_mark
   | Phase of string
+  | Tier of { fn : string; transition : transition }
 
 type record = { cost : int; ev : event }
 
@@ -196,6 +216,8 @@ let decode t kind a b c =
     Detect { what = name_of t (i64 a); addr = b; off = i64 c }
   else if kind = k_fi_mark then Fi_mark
   else if kind = k_phase then Phase (name_of t (i64 a))
+  else if kind = k_tier then
+    Tier { fn = name_of t (i64 a); transition = transition_of_int (i64 b) }
   else Phase (Printf.sprintf "?kind=%d" kind)
 
 let snapshot t =
@@ -260,5 +282,13 @@ let pp_event ppf ev =
       else Fmt.pf ppf "DETECT %s at 0x%Lx+%d" what addr off
   | Fi_mark -> Fmt.pf ppf "fi-mark"
   | Phase p -> Fmt.pf ppf "phase %s" p
+  | Tier { fn; transition } ->
+      let what =
+        match transition with
+        | Tier_refused -> "refused"
+        | Tier_promote -> "promote"
+        | Tier_deopt -> "deopt"
+      in
+      Fmt.pf ppf "tier %s %s" what fn
 
 let pp_record ppf r = Fmt.pf ppf "[%10d] %a" r.cost pp_event r.ev

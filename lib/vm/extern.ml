@@ -277,7 +277,7 @@ let register_base vm =
       let what = Printf.sprintf "check %Ld" (iarg 0 args) in
       (match vm.Vm.trace with
       | Some s ->
-          Dpmr_trace.Trace.emit_detect s ~cost:vm.Vm.cost ~what ~addr:(-1L)
+          Dpmr_trace.Trace.emit_detect s ~cost:!(vm.Vm.cost) ~what ~addr:(-1L)
             ~off:(-1)
       | None -> ());
       raise (Vm.Dpmr_detected what));
@@ -296,10 +296,10 @@ let register_base vm =
   (* fault-injection marker: records the cost at first execution *)
   reg "__fi_mark" (fun vm _ ->
       (match vm.Vm.fi_first_cost with
-      | None -> vm.Vm.fi_first_cost <- Some vm.Vm.cost
+      | None -> vm.Vm.fi_first_cost <- Some !(vm.Vm.cost)
       | Some _ -> ());
       (match vm.Vm.trace with
-      | Some s -> Dpmr_trace.Trace.emit_fi_mark s ~cost:vm.Vm.cost
+      | Some s -> Dpmr_trace.Trace.emit_fi_mark s ~cost:!(vm.Vm.cost)
       | None -> ());
       None)
 

@@ -41,14 +41,29 @@ type lkind =
     have raised had the branch executed. *)
 type starget = Bidx of int | Braise of exn
 
+(** Compiled-tier attachment point, extensible so this module stays
+    ignorant of the compiler: {!Compile} adds a constructor carrying the
+    closure-compiled code; everyone else only sees {!Tier3_none}. *)
+type tier3 = ..
+
+type tier3 += Tier3_none
+
 type lfunc = {
   lname : string;
   lparams : int array;  (** parameter register indices *)
   lnregs : int;
   mutable lblocks : lblock array;  (** entry block at index 0 *)
+  mutable lhot : int;
+      (** lowered blocks executed in this function (the tier-promotion
+          counter); heuristic state, never part of program identity *)
+  mutable ltier3 : tier3;  (** compiled code, once promoted *)
 }
 
-and lblock = { linsts : linst array; lterm : lterm }
+and lblock = {
+  linsts : linst array;
+  lterm : lterm;
+  mutable lflags : int;  (** static block facts, see {!b_call} *)
+}
 
 and lterm =
   | Lbr of starget
@@ -114,9 +129,19 @@ type prog = {
   src : Prog.t;  (** the program this was lowered from *)
 }
 
+val b_call : int
+(** {!lblock.lflags} bit: the block contains a call — its boundary is a
+    compiled-tier deoptimization point (the call may activate fault
+    injection mid-block). *)
+
+val b_check : int
+(** {!lblock.lflags} bit: the block ends in a replica load-check
+    ([Lcheck]/[Lcmpcheck]) — fidelity-relevant under a trace sink. *)
+
 (** Lower a whole program.  Cheap enough to run once per program build;
-    the result is immutable and may be shared by any number of VMs
-    executing the same (unmodified) program. *)
+    the result is immutable (apart from the per-function tier state,
+    which never affects behaviour) and may be shared by any number of
+    VMs executing the same (unmodified) program. *)
 val lower_prog : Prog.t -> prog
 
 (** {1 Structural divergence, for snapshot/fork campaign execution} *)

@@ -24,24 +24,61 @@ module Trace = Dpmr_trace.Trace
 
 type value = Lower.value = I of int64 | F of float
 
-exception Exit_program of int
-exception Dpmr_detected of string
-exception Timeout_exceeded
-exception Vm_error of string
-exception Cancelled of string
+(* The classification exceptions, the step-poll hook and the scalar-op
+   semantics live in {!Machine}, shared with the closure-compiled tier
+   ({!Compile}, instantiated at the bottom of this file).  Rebinding
+   keeps the constructors physically identical, so a [Machine.Vm_error]
+   raised from compiled code is caught by [classify_run] below. *)
+exception Exit_program = Machine.Exit_program
+exception Dpmr_detected = Machine.Dpmr_detected
+exception Timeout_exceeded = Machine.Timeout_exceeded
+exception Vm_error = Machine.Vm_error
+exception Cancelled = Machine.Cancelled
 
-(* Cooperative cancellation: a per-domain hook polled once per basic
-   block by both engines (at the same point the cost budget is checked).
-   A supervisor installs a closure that raises {!Cancelled} when its
-   wall-clock deadline passes; [None] — the common case — costs one
-   domain-local load and a branch per block.  Deliberately domain-local
-   rather than a [t] field: the hook must reach VMs created arbitrarily
-   deep inside a job (transform → run), which the wrapping supervisor
-   never sees. *)
-let poll_key : (unit -> unit) option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
+let poll_key = Machine.poll_key
+let set_poll_hook = Machine.set_poll_hook
 
-let set_poll_hook f = Domain.DLS.set poll_key f
+(* ------------------------------------------------------------------ *)
+(* Execution tiers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Which engine executes a run.  [Tier_auto] (default) starts every
+    function on the lowered interpreter and promotes it to the compiled
+    closure tier once hot; the other modes pin one engine, for
+    differential testing and paired benchmarking.  Process-global: set
+    it before spawning worker domains. *)
+type tier_mode = Tier_auto | Tier_ref | Tier_lowered | Tier_compiled
+
+let tier_mode_ref = ref Tier_auto
+
+(* promotion threshold in executed lowered blocks per function;
+   [max_int] disables promotion, [0] promotes on first entry *)
+let tier_threshold = ref Cost.tier_promote_blocks
+
+let set_tier_mode m =
+  tier_mode_ref := m;
+  tier_threshold :=
+    (match m with
+    | Tier_auto -> Cost.tier_promote_blocks
+    | Tier_compiled -> 0
+    | Tier_ref | Tier_lowered -> max_int)
+
+let tier_mode () = !tier_mode_ref
+
+let tier_mode_of_string = function
+  | "auto" -> Some Tier_auto
+  | "ref" -> Some Tier_ref
+  | "lowered" -> Some Tier_lowered
+  | "compiled" -> Some Tier_compiled
+  | _ -> None
+
+let () =
+  match Sys.getenv_opt "DPMR_TIER" with
+  | None | Some "" -> ()
+  | Some s -> (
+      match tier_mode_of_string s with
+      | Some m -> set_tier_mode m
+      | None -> invalid_arg (Printf.sprintf "DPMR_TIER: unknown tier %S" s))
 
 type t = {
   prog : Prog.t;
@@ -54,7 +91,9 @@ type t = {
   addr_fun : (int64, string) Hashtbl.t;
   mutable next_fun_addr : int64;
   out : Buffer.t;
-  mutable cost : int;
+  cost : int ref;
+      (** a [ref] rather than a mutable field so the compiled tier can
+          capture it once per entry and charge without touching [t] *)
   mutable budget : int;  (** raise {!Timeout_exceeded} when cost exceeds *)
   rng : Rng.t;
   externs : (string, extern) Hashtbl.t;
@@ -71,10 +110,10 @@ type t = {
 
 and extern = t -> value list -> value option
 
-let add_cost t c = t.cost <- t.cost + c
+let add_cost t c = t.cost := !(t.cost) + c
 
 let check_budget t =
-  if t.cost > t.budget then raise Timeout_exceeded;
+  if !(t.cost) > t.budget then raise Timeout_exceeded;
   match Domain.DLS.get poll_key with None -> () | Some f -> f ()
 
 let as_int = function I v -> v | F _ -> raise (Vm_error "expected int/pointer value")
@@ -184,7 +223,7 @@ let create ?(seed = 42L) ?(budget = 2_000_000_000L) ?lowered prog =
       addr_fun = Hashtbl.create 32;
       next_fun_addr = 0x2000_0000L;
       out = Buffer.create 256;
-      cost = 0;
+      cost = ref 0;
       budget = Int64.to_int budget;
       rng = Rng.create seed;
       externs = Hashtbl.create 64;
@@ -198,7 +237,7 @@ let create ?(seed = 42L) ?(budget = 2_000_000_000L) ?lowered prog =
   (* the allocator and phase markers timestamp events through the sink's
      clock; point it at this VM's cost counter *)
   (match t.trace with
-  | Some s -> Trace.set_clock s (fun () -> t.cost)
+  | Some s -> Trace.set_clock s (fun () -> !(t.cost))
   | None -> ());
   layout_globals t;
   t
@@ -305,7 +344,14 @@ let store_scalar t ty addr v =
 external reg_get : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
 external reg_set : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
 
-type lframe = { bits : Bytes.t; tags : Bytes.t; lentry_sp : int64 }
+(* the frame type is {!Machine}'s, so the compiled tier executes the
+   very same record the lowered engine allocated — promotion shares the
+   register file, deoptimization needs no state copy at all *)
+type lframe = Machine.lframe = {
+  bits : Bytes.t;
+  tags : Bytes.t;
+  lentry_sp : int64;
+}
 
 (* same poison as the boxed register file had: an uninitialized register
    reads back as the int 0xDEADBEEF *)
@@ -316,6 +362,13 @@ let make_lframe nregs sp =
     reg_set bits (r lsl 3) 0xDEADBEEFL
   done;
   { bits; tags; lentry_sp = sp }
+
+(* Entry point of the compiled tier, tied after the recursive execution
+   knot below ({!Compile} needs the knot's call helpers, the knot needs
+   this to promote).  Never read before the initializer at the bottom of
+   this file runs. *)
+let tier_enter : (t -> L.lfunc -> lframe -> int -> Compile.result) ref =
+  ref (fun _ _ _ _ -> assert false)
 
 (* ------------------------------------------------------------------ *)
 (* Copy-on-write snapshots: types and watched-execution context        *)
@@ -511,11 +564,11 @@ and exec_lfunc t (lf : L.lfunc) (args : value array) =
   if Array.length lf.L.lblocks = 0 then
     invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" lf.L.lname);
   (match t.trace with
-  | Some s -> Trace.emit_call_enter s ~cost:t.cost ~fname:lf.L.lname
+  | Some s -> Trace.emit_call_enter s ~cost:(!(t.cost)) ~fname:lf.L.lname
   | None -> ());
   let result = exec_lblocks t lf frame in
   (match t.trace with
-  | Some s -> Trace.emit_call_exit s ~cost:t.cost ~fname:lf.L.lname
+  | Some s -> Trace.emit_call_exit s ~cost:(!(t.cost)) ~fname:lf.L.lname
   | None -> ());
   t.sp <- frame.lentry_sp;
   t.call_depth <- t.call_depth - 1;
@@ -525,14 +578,48 @@ and exec_lblocks t (lf : L.lfunc) frame = exec_lblocks_at t lf frame 0 0
 
 (* [exec_lblocks_at _ _ _ idx0 i0] enters block [idx0] at instruction
    [i0] — 0, 0 for a normal call; a mid-block position when [resume]
-   re-enters a snapshotted activation. *)
+   re-enters a snapshotted activation.
+
+   Every block boundary ([i0 = 0]) is also a tier-promotion point: once
+   the function has executed [!tier_threshold] lowered blocks it enters
+   the compiled tier — at call granularity for short hot functions, and
+   mid-run (on-stack replacement: same frame, same block index) for a
+   long-running loop that never returns.  Promotion is refused while
+   full fidelity is required: a trace sink needs per-block samples and
+   per-check compare events, and an activated fault injection must keep
+   the block-by-block shape the forensics suite reasons about.  The
+   compiled tier deoptimizes back here (a [Rdeopt] with the next block
+   index) when fidelity demands appear mid-run. *)
 and exec_lblocks_at t (lf : L.lfunc) frame idx0 i0 =
   let blocks = lf.L.lblocks in
   let rec go idx i0 =
+    if i0 = 0 then begin
+      let h = lf.L.lhot + 1 in
+      lf.L.lhot <- h;
+      if h >= !tier_threshold then
+        if t.trace == None && t.fi_first_cost == None then
+          match !tier_enter t lf frame idx with
+          | Compile.Rret v -> v
+          | Compile.Rdeopt b -> exec_block b 0
+        else begin
+          (* the only tier transition observable under a sink: record
+             the refusal once, at the exact threshold crossing *)
+          (if h = !tier_threshold then
+             match t.trace with
+             | Some s ->
+                 Trace.emit_tier s ~cost:(!(t.cost)) ~fname:lf.L.lname
+                   ~transition:Trace.Tier_refused
+             | None -> ());
+          exec_block idx 0
+        end
+      else exec_block idx 0
+    end
+    else exec_block idx i0
+  and exec_block idx i0 =
     let (b : L.lblock) = blocks.(idx) in
     check_budget t;
     (match t.trace with
-    | Some s -> Trace.sample_block s ~cost:t.cost ~fname:lf.L.lname ~blk:idx
+    | Some s -> Trace.sample_block s ~cost:(!(t.cost)) ~fname:lf.L.lname ~blk:idx
     | None -> ());
     let insts = b.L.linsts in
     for i = i0 to Array.length insts - 1 do
@@ -554,7 +641,7 @@ and exec_lblocks_at t (lf : L.lfunc) frame idx0 i0 =
         let tgt, to_det = if not (Int64.equal v 0L) then (t1, d1) else (t2, d2) in
         (match t.trace with
         | Some s when not to_det ->
-            Trace.emit_compare s ~cost:t.cost ~app:(-1L) ~rep:(-1L) ~len:0
+            Trace.emit_compare s ~cost:(!(t.cost)) ~app:(-1L) ~rep:(-1L) ~len:0
         | _ -> ());
         go (resolve_target tgt) 0
     | L.Lcmpbr (r, c, w, a, bb, t1, t2) ->
@@ -576,7 +663,7 @@ and exec_lblocks_at t (lf : L.lfunc) frame idx0 i0 =
         let tgt, to_det = if not (Int64.equal v 0L) then (t1, d1) else (t2, d2) in
         (match t.trace with
         | Some s when not to_det ->
-            Trace.emit_compare s ~cost:t.cost ~app:(-1L) ~rep:(-1L) ~len:0
+            Trace.emit_compare s ~cost:(!(t.cost)) ~app:(-1L) ~rep:(-1L) ~len:0
         | _ -> ());
         go (resolve_target tgt) 0
     | L.Lret o ->
@@ -622,7 +709,7 @@ and exec_linst t frame (inst : L.linst) =
       (match t.trace with
       | Some s ->
           (* before the write, so a faulting store is still on record *)
-          Trace.emit_store s ~cost:t.cost ~addr
+          Trace.emit_store s ~cost:(!(t.cost)) ~addr
             ~bytes:(match k with L.Kint n -> n | L.Kfloat -> 8 | L.Kbad -> 0)
       | None -> ());
       (match k with
@@ -794,7 +881,7 @@ and exec_store_at t frame k (v : L.lop) addr =
   add_cost t (Cost.store + Cost.heap_pressure (Allocator.live_bytes t.alloc));
   (match t.trace with
   | Some s ->
-      Trace.emit_store s ~cost:t.cost ~addr
+      Trace.emit_store s ~cost:(!(t.cost)) ~addr
         ~bytes:(match k with L.Kint n -> n | L.Kfloat -> 8 | L.Kbad -> 0)
   | None -> ());
   match k with
@@ -1005,7 +1092,7 @@ and capture t w =
   word (Allocator.frozen_hash alloc_f);
   word (Rng.state t.rng);
   word t.sp;
-  word (Int64.of_int t.cost);
+  word (Int64.of_int !(t.cost));
   word t.next_fun_addr;
   str out;
   List.iter
@@ -1027,7 +1114,7 @@ and capture t w =
     sn_alloc = alloc_f;
     sn_rng = Rng.state t.rng;
     sn_sp = t.sp;
-    sn_cost = t.cost;
+    sn_cost = !(t.cost);
     sn_out = out;
     sn_funaddr = funaddr;
     sn_next_fun_addr = t.next_fun_addr;
@@ -1089,11 +1176,11 @@ and exec_func t (f : Func.t) args =
   in
   bind 0 f.params args;
   (match t.trace with
-  | Some s -> Trace.emit_call_enter s ~cost:t.cost ~fname:f.name
+  | Some s -> Trace.emit_call_enter s ~cost:(!(t.cost)) ~fname:f.name
   | None -> ());
   let result = exec_blocks t f frame in
   (match t.trace with
-  | Some s -> Trace.emit_call_exit s ~cost:t.cost ~fname:f.name
+  | Some s -> Trace.emit_call_exit s ~cost:(!(t.cost)) ~fname:f.name
   | None -> ());
   t.sp <- frame.entry_sp;
   t.call_depth <- t.call_depth - 1;
@@ -1103,7 +1190,7 @@ and exec_blocks t f frame =
   let rec run (b : Func.block) =
     check_budget t;
     (match t.trace with
-    | Some s -> Trace.sample_block s ~cost:t.cost ~fname:f.Func.name ~blk:(-1)
+    | Some s -> Trace.sample_block s ~cost:(!(t.cost)) ~fname:f.Func.name ~blk:(-1)
     | None -> ());
     List.iter (exec_inst t f frame) b.insts;
     match b.term with
@@ -1161,7 +1248,7 @@ and exec_inst t f frame inst =
       let addr = as_int (ev p) in
       (match t.trace with
       | Some s ->
-          Trace.emit_store s ~cost:t.cost ~addr
+          Trace.emit_store s ~cost:(!(t.cost)) ~addr
             ~bytes:(Layout.size_of t.prog.tenv ty)
       | None -> ());
       store_scalar t ty addr (ev v)
@@ -1252,6 +1339,65 @@ and exec_inst t f frame inst =
       | None, _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Compiled-tier instantiation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The runtime view {!Compile} programs against.  Sits below the
+   recursive knot because compiled calls re-enter it ([exec_lfunc]), and
+   above [tier_enter] because the knot promotes through that ref — the
+   assignment right after [Tier] ties the cycle. *)
+module Tier_rt = struct
+  type nonrec t = t
+
+  let cost t = t.cost
+  let budget t = t.budget
+  let mem t = t.mem
+  let alloc t = t.alloc
+  let sp t = t.sp
+  let set_sp t v = t.sp <- v
+  let global_address = global_address
+  let fun_address = fun_address
+
+  let fault_active t =
+    match t.fi_first_cost with None -> false | Some _ -> true
+
+  let call_lfun t lf args = exec_lfunc t lf args
+
+  (* the [Lextern] slot protocol of [exec_linst]: slot cache, extern
+     table with cache fill, unknown-function error — in that order *)
+  let call_extern_slot t slot name argv =
+    match t.extern_slots.(slot) with
+    | Some fn -> fn t (Array.to_list argv)
+    | None -> (
+        match Hashtbl.find_opt t.externs name with
+        | Some fn ->
+            t.extern_slots.(slot) <- Some fn;
+            fn t (Array.to_list argv)
+        | None -> unknown_function name)
+
+  let indirect_name t addr =
+    match Hashtbl.find_opt t.addr_fun addr with
+    | Some name -> name
+    | None -> raise (Mem.Fault (Mem.Unmapped addr))
+
+  let call_named t name argv =
+    match Hashtbl.find_opt t.lprog.L.funcs name with
+    | Some lf -> exec_lfunc t lf argv
+    | None -> (
+        match Hashtbl.find_opt t.externs name with
+        | Some fn -> fn t (Array.to_list argv)
+        | None -> unknown_function name)
+end
+
+module Tier = Compile.Make (Tier_rt)
+
+let () = tier_enter := Tier.enter
+
+(** Cumulative (process-wide) compiled-tier telemetry:
+    (functions promoted, deoptimizations). *)
+let tier_stats () = (Compile.n_promotions (), Compile.n_deopts ())
+
+(* ------------------------------------------------------------------ *)
 (* Top-level driver                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1273,7 +1419,7 @@ let setup_argv t args =
 let finish_run t outcome =
   {
     Outcome.outcome;
-    cost = Int64.of_int t.cost;
+    cost = Int64.of_int !(t.cost);
     output = Buffer.contents t.out;
     peak_heap_bytes = (Allocator.stats t.alloc).peak_bytes;
     mapped_pages = t.mem.mapped_pages;
@@ -1294,8 +1440,9 @@ let classify_exit r =
   let code = match r with Some (I v) -> Int64.to_int v | _ -> 0 in
   if code = 0 then Outcome.Normal else Outcome.App_exit code
 
-(** Run [main] (or a named entry point) to completion and classify. *)
-let run ?(entry = "main") ?(args = [ "prog" ]) t =
+(** [run]'s entry protocol on the lowered (and, when hot, compiled)
+    engine. *)
+let run_lowered ?(entry = "main") ?(args = [ "prog" ]) t =
   t.use_lowered <- true;
   classify_run t (fun () ->
       let lf =
@@ -1328,6 +1475,14 @@ let run_reference ?(entry = "main") ?(args = [ "prog" ]) t =
       in
       classify_exit (exec_func t f argv_vals))
 
+(** Run [main] (or a named entry point) to completion and classify,
+    on the engine the tier mode selects: the lowered/compiled pair by
+    default, the tree-walker under {!Tier_ref}. *)
+let run ?(entry = "main") ?(args = [ "prog" ]) t =
+  match !tier_mode_ref with
+  | Tier_ref -> run_reference ~entry ~args t
+  | Tier_auto | Tier_lowered | Tier_compiled -> run_lowered ~entry ~args t
+
 (* ------------------------------------------------------------------ *)
 (* Snapshot / fork drivers                                             *)
 (* ------------------------------------------------------------------ *)
@@ -1356,7 +1511,9 @@ type watch_result =
     is resolved.  Raises {!Watch_infeasible} when watching is impossible
     on this VM (tracing active). *)
 let run_watched ?(entry = "main") ?(args = [ "prog" ]) t limitss =
-  if t.trace <> None then raise Watch_infeasible;
+  (* infeasible under tracing (per-event fidelity) and under a forced
+     reference tier (watch limits are lowered-block positions) *)
+  if t.trace <> None || !tier_mode_ref = Tier_ref then raise Watch_infeasible;
   t.use_lowered <- true;
   let members =
     Array.map
@@ -1508,7 +1665,7 @@ let resume ?(remap = fun _ -> None) t snapshot =
   t.alloc <- Allocator.thaw t.mem snapshot.sn_alloc;
   Rng.set_state t.rng snapshot.sn_rng;
   t.sp <- snapshot.sn_sp;
-  t.cost <- snapshot.sn_cost;
+  t.cost := snapshot.sn_cost;
   Buffer.clear t.out;
   Buffer.add_string t.out snapshot.sn_out;
   Hashtbl.reset t.fun_addr;

@@ -38,7 +38,9 @@ type t = {
   addr_fun : (int64, string) Hashtbl.t;
   mutable next_fun_addr : int64;
   out : Buffer.t;
-  mutable cost : int;
+  cost : int ref;
+      (** a [ref] rather than a mutable field so the compiled tier can
+          capture it once per entry and charge without touching [t] *)
   mutable budget : int;
   rng : Rng.t;
   externs : (string, extern) Hashtbl.t;
@@ -94,6 +96,36 @@ val run : ?entry:string -> ?args:string list -> t -> Outcome.run
 (** Same protocol on the reference tree-walking engine (the original
     interpreter, kept as the executable specification). *)
 val run_reference : ?entry:string -> ?args:string list -> t -> Outcome.run
+
+(** {1 Tiered execution}
+
+    Three tiers, all charging the {!Cost} model identically and agreeing
+    byte-for-byte on every outcome: the reference tree-walker, the
+    lowered threaded interpreter, and a closure-compiled top tier
+    ({!Compile}) that hot functions are promoted into after
+    {!Cost.tier_promote_blocks} executed lowered blocks.  Promotion is
+    refused while full per-event fidelity is required (trace sink
+    installed, fault injection activated), and compiled code
+    deoptimizes back into the lowered engine — same frame, at a block
+    boundary — when fidelity demands appear mid-run. *)
+
+type tier_mode =
+  | Tier_auto  (** telemetry-driven promotion (the default) *)
+  | Tier_ref  (** force the reference tree-walker in {!run} *)
+  | Tier_lowered  (** disable promotion: lowered engine only *)
+  | Tier_compiled  (** promote at first entry (threshold 0) *)
+
+(** Set the process-global tier policy.  Also settable through the
+    [DPMR_TIER] environment variable ([auto]/[ref]/[lowered]/[compiled]),
+    read once at module initialization. *)
+val set_tier_mode : tier_mode -> unit
+
+val tier_mode : unit -> tier_mode
+val tier_mode_of_string : string -> tier_mode option
+
+(** Cumulative (process-wide) compiled-tier telemetry:
+    (functions promoted, deoptimizations). *)
+val tier_stats : unit -> int * int
 
 (** {1 Copy-on-write snapshots (snapshot/fork campaign execution)}
 
