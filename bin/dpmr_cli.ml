@@ -33,7 +33,9 @@ module Cache = Dpmr_engine.Cache
 module Job = Dpmr_engine.Job
 module Chaos = Dpmr_engine.Chaos
 module Supervisor = Dpmr_engine.Supervisor
+module Dispatch = Dpmr_engine.Dispatch
 module Telemetry = Dpmr_engine.Telemetry
+module Remote = Dpmr_server.Remote
 module Trace = Dpmr_trace.Trace
 module Export = Dpmr_trace.Export
 module Json_check = Dpmr_trace.Json_check
@@ -374,8 +376,50 @@ let report_cmd =
              of every function at first entry.  Output is byte-identical \
              across tiers.")
   in
+  let remote_workers_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workers" ] ~docv:"HOST:PORT,..."
+          ~doc:
+            "Scatter cache misses to resident dpmr_serve workers \
+             (comma-separated $(i,HOST:PORT) or $(i,unix:PATH) addresses) and \
+             gather their verdicts; the local pool remains the degradation \
+             path.  Output is byte-identical to a local run.")
+  in
+  let min_workers_t =
+    Arg.(
+      value & opt int 0
+      & info [ "min-workers" ] ~docv:"N"
+          ~doc:
+            "Fail jobs (explicit '!' holes, never an aborted batch) instead of \
+             running them locally once fewer than $(docv) workers stay \
+             healthy.  0 = degrade to local execution silently.")
+  in
+  let window_t =
+    Arg.(
+      value & opt int Dispatch.default_policy.Dispatch.window
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Outstanding chunks per worker (its scatter window).")
+  in
+  let chunk_t =
+    Arg.(
+      value & opt int 0
+      & info [ "chunk" ] ~docv:"N"
+          ~doc:"Jobs per dispatched chunk (0 = size automatically from the \
+                batch and worker count).")
+  in
+  let hedge_ms_t =
+    Arg.(
+      value
+      & opt float (Dispatch.default_policy.Dispatch.hedge_after *. 1000.)
+      & info [ "hedge-ms" ] ~docv:"MS"
+          ~doc:"Duplicate a straggling chunk onto a second healthy worker \
+                after $(docv) milliseconds; first result wins (0 disables).")
+  in
   let go id fig scale seed reps jobs no_cache no_snapshot chaos deadline retries
-      backoff_ms telemetry_json tier =
+      backoff_ms telemetry_json tier remote_workers min_workers window chunk
+      hedge_ms =
     (match tier with None -> () | Some m -> Dpmr_vm.Vm.set_tier_mode m);
     (match chaos with
     | None -> () (* DPMR_CHAOS, if set, still applies via Chaos.active *)
@@ -399,10 +443,39 @@ let report_cmd =
       }
     in
     let jobs = if jobs <= 0 then Engine.default_jobs () else jobs in
+    let dispatcher =
+      match remote_workers with
+      | None -> None
+      | Some spec ->
+          let hosts =
+            String.split_on_char ',' spec
+            |> List.map String.trim
+            |> List.filter (fun h -> h <> "")
+          in
+          if hosts = [] then die "bad --workers %S (want HOST:PORT,...)" spec;
+          let dpolicy =
+            {
+              Dispatch.default_policy with
+              Dispatch.base = policy;
+              window = max 1 window;
+              chunk_jobs = max 0 chunk;
+              hedge_after = Float.max 0. (hedge_ms /. 1000.);
+              min_workers = max 0 min_workers;
+            }
+          in
+          let timeout =
+            (* generous per-socket timeout: a worker that stalls past it is
+               treated as down, re-dispatched, and probed back to health *)
+            match policy.Supervisor.deadline with
+            | Some d -> Float.max 30. (4. *. d)
+            | None -> 120.
+          in
+          Some (Dispatch.create ~policy:dpolicy (Remote.transport ~timeout ()) ~hosts)
+    in
     let engine =
       Engine.create ~jobs ~use_cache:(not no_cache)
         ~snapshots:(Sys.getenv_opt "DPMR_NO_SNAPSHOT" = None && not no_snapshot)
-        ~policy ()
+        ~policy ?dispatcher ()
     in
     let write_telemetry () =
       match telemetry_json with
@@ -413,7 +486,8 @@ let report_cmd =
             (Telemetry.to_json (Engine.telemetry engine) ~workers:(Engine.jobs engine)
                ~cache:(Engine.cache_stats engine)
                ~tier:(Dpmr_vm.Vm.tier_stats ())
-               ~plan_memo:(Dpmr_fi.Experiment.diff_memo_stats ()));
+               ~plan_memo:(Dpmr_fi.Experiment.diff_memo_stats ())
+               ?dispatch:(Engine.dispatcher engine));
           close_out oc
     in
     (* a SIGINT/SIGTERM mid-grid keeps everything finished so far: the
@@ -439,7 +513,8 @@ let report_cmd =
     Term.(
       const go $ id_t $ fig_t $ scale_t $ seed_t $ reps_t $ jobs_t $ no_cache_t
       $ no_snapshot_t $ chaos_t $ deadline_t $ retries_t $ backoff_ms_t
-      $ telemetry_json_t $ tier_t)
+      $ telemetry_json_t $ tier_t $ remote_workers_t $ min_workers_t $ window_t
+      $ chunk_t $ hedge_ms_t)
 
 let cache_cmd =
   let action_t =

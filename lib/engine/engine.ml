@@ -31,13 +31,17 @@ type t = {
       (** snapshot/fork campaign execution: run each fault-injection
           cell's warmup once as a watched baseline and fork the members
           from its copy-on-write capture ({!Experiment.plan_group}) *)
+  dispatcher : Dispatch.t option;
+      (** remote scatter/gather: cache misses go to resident workers
+          over the wire instead of the local pool, with the local pool
+          as the degradation path ([report all --workers]) *)
 }
 
 let default_jobs () = Pool.default_size ()
 
 let create ?jobs ?(use_cache = true) ?(cache_dir = Cache.default_dir)
     ?(salt = Job.default_salt) ?policy ?(progress = true) ?(resident = false)
-    ?(snapshots = Sys.getenv_opt "DPMR_NO_SNAPSHOT" = None) () =
+    ?(snapshots = Sys.getenv_opt "DPMR_NO_SNAPSHOT" = None) ?dispatcher () =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let cache = if use_cache then Some (Cache.load ~dir:cache_dir ~salt ()) else None in
   {
@@ -49,9 +53,11 @@ let create ?jobs ?(use_cache = true) ?(cache_dir = Cache.default_dir)
     progress;
     pool = (if resident && jobs > 1 then Some (Pool.create ~size:jobs ()) else None);
     snapshots;
+    dispatcher;
   }
 
 let jobs t = t.jobs
+let dispatcher t = t.dispatcher
 let telemetry t = t.telemetry
 let supervisor t = t.supervisor
 let cache_stats t = Option.map Cache.stats t.cache
@@ -242,27 +248,59 @@ let run_specs_r t specs =
       let retries_before = Supervisor.retries t.supervisor in
       let to_run = List.rev_map (fun key -> (key, fst (Hashtbl.find missing key))) !order in
       let units = partition_units t to_run in
-      let ran =
-        (* every job runs under supervision: deadline, retry-with-backoff
-           for transient failures, quarantine for deterministic ones — a
-           failure fills its own slots and cannot abort the batch.  A
-           [Cell] runs whole on one worker: its members share a watched
-           baseline, but each member is still supervised individually. *)
-        pool_map t ?progress:(progress_fn t (List.length units))
-          (function
-            | Single (key, spec) ->
-                let t1 = Telemetry.now () in
-                let r = Supervisor.run t.supervisor ~key (fun () -> execute spec) in
-                [ ((key, spec), r, Telemetry.now () -. t1, None) ]
-            | Cell members -> run_cell t members)
-          units
+      (* every job runs under supervision: deadline, retry-with-backoff
+         for transient failures, quarantine for deterministic ones — a
+         failure fills its own slots and cannot abort the batch.  A
+         [Cell] runs whole on one worker: its members share a watched
+         baseline, but each member is still supervised individually. *)
+      let exec_unit = function
+        | Single (key, spec) ->
+            let t1 = Telemetry.now () in
+            let r = Supervisor.run t.supervisor ~key (fun () -> execute spec) in
+            [ ((key, spec), r, Telemetry.now () -. t1, None) ]
+        | Cell members -> run_cell t members
+      in
+      let run_units us =
+        pool_map t ?progress:(progress_fn t (List.length us)) exec_unit us
         |> List.concat
+        |> List.map (fun (it, r, wall, snap) ->
+               let outcome =
+                 match r with
+                 | Ok cls -> Dispatch.Done cls
+                 | Error (fl : Supervisor.failure) ->
+                     Dispatch.Hole
+                       {
+                         Dispatch.hreason = Supervisor.reason_name fl.Supervisor.freason;
+                         hattempts = fl.Supervisor.fattempts;
+                         herror = fl.Supervisor.ferror;
+                       }
+               in
+               (it, outcome, wall, snap))
+      in
+      let ran =
+        match t.dispatcher with
+        | None -> run_units units
+        | Some d ->
+            (* scatter the schedulable units to remote workers, whole
+               groups at a time so remote engines re-derive the same
+               snapshot cells; the local pool is the degradation path *)
+            let groups =
+              List.map (function Single (k, s) -> [| (k, s) |] | Cell ms -> ms) units
+            in
+            Dispatch.run d
+              ~local:(fun gs ->
+                run_units
+                  (List.map
+                     (fun g ->
+                       if Array.length g = 1 then Single (fst g.(0), snd g.(0)) else Cell g)
+                     gs))
+              groups
       in
       List.iter
-        (fun ((key, spec), r, wall, snap) ->
+        (fun ((key, spec), outcome, wall, snap) ->
           let result =
-            match r with
-            | Ok cls ->
+            match outcome with
+            | Dispatch.Done cls ->
                 Telemetry.record_job t.telemetry ~wall ~cost:cls.Experiment.cost;
                 (match t.cache with
                 | Some c ->
@@ -278,13 +316,13 @@ let run_specs_r t specs =
                       snap
                 | None -> ());
                 Experiment.Run cls
-            | Error (fl : Supervisor.failure) ->
+            | Dispatch.Hole h ->
                 Telemetry.record_failed t.telemetry ~wall;
                 Experiment.Job_failed
                   {
-                    Experiment.fail_reason = Supervisor.reason_name fl.Supervisor.freason;
-                    fail_attempts = fl.Supervisor.fattempts;
-                    fail_error = fl.Supervisor.ferror;
+                    Experiment.fail_reason = h.Dispatch.hreason;
+                    fail_attempts = h.Dispatch.hattempts;
+                    fail_error = h.Dispatch.herror;
                   }
           in
           let _, idxs = Hashtbl.find missing key in
@@ -336,6 +374,7 @@ let summary_lines t =
   Telemetry.summary_lines t.telemetry ~workers:t.jobs ~cache:(cache_stats t)
     ~tier:(Dpmr_vm.Vm.tier_stats ())
     ~plan_memo:(Experiment.diff_memo_stats ())
+    ?dispatch:t.dispatcher
 
 (** Printed to stderr so report output stays byte-identical across
     worker counts and cache states. *)

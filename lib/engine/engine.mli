@@ -22,6 +22,7 @@ val create :
   ?progress:bool ->
   ?resident:bool ->
   ?snapshots:bool ->
+  ?dispatcher:Dispatch.t ->
   unit ->
   t
 (** [snapshots] (default [true] unless the [DPMR_NO_SNAPSHOT]
@@ -38,9 +39,15 @@ val create :
     contexts, lowered programs) is paid once — the mode long-lived
     embedders (the serving daemon, multi-figure reports) use.  A
     resident engine must be {!close}d; its domains otherwise park
-    forever. *)
+    forever.  [dispatcher] scatters cache misses to remote workers
+    ([report all --workers]) with the local pool as the degradation
+    path; the engine's cache, figures, and result ordering are
+    unchanged. *)
 
 val jobs : t -> int
+
+val dispatcher : t -> Dispatch.t option
+(** The remote dispatcher wired in at {!create} time, for telemetry. *)
 val telemetry : t -> Telemetry.t
 val supervisor : t -> Supervisor.t
 val cache_stats : t -> Cache.stats option

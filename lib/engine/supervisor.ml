@@ -132,11 +132,13 @@ let jitter ~key ~attempt =
   let h = fnv1a64 (Printf.sprintf "backoff\x00%s\x00%d" key attempt) in
   0.5 +. (Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992. /. 2.)
 
-let sleep_backoff policy ~key ~attempt =
+let backoff_delay policy ~key ~attempt =
   let envelope =
     Float.min policy.backoff_max (policy.backoff *. Float.pow 2. (float_of_int attempt))
   in
-  Unix.sleepf (envelope *. jitter ~key ~attempt)
+  envelope *. jitter ~key ~attempt
+
+let sleep_backoff policy ~key ~attempt = Unix.sleepf (backoff_delay policy ~key ~attempt)
 
 (* ---------------- the supervised attempt loop ---------------- *)
 

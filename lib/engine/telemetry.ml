@@ -77,7 +77,7 @@ let speedup_estimate t =
    when the subsystem actually fired, so historical summary shapes are
    preserved. *)
 
-let summary_lines ?(tier = (0, 0)) ?(plan_memo = (0, 0)) t ~workers
+let summary_lines ?(tier = (0, 0)) ?(plan_memo = (0, 0)) ?dispatch t ~workers
     ~(cache : Cache.stats option) =
   let total = t.jobs_run + t.jobs_cached + t.jobs_failed in
   let degraded =
@@ -131,7 +131,14 @@ let summary_lines ?(tier = (0, 0)) ?(plan_memo = (0, 0)) t ~workers
           promoted deopts memo;
       ]
   in
-  let base = [ first; cache_line; time_line ] @ tier_lines in
+  (* only surfaced when a remote dispatcher was wired in, so
+     single-host runs keep the historical summary shape *)
+  let dispatch_lines =
+    match dispatch with
+    | None -> []
+    | Some d -> List.map (fun l -> "[engine] " ^ l) (Dispatch.summary_lines d)
+  in
+  let base = [ first; cache_line; time_line ] @ tier_lines @ dispatch_lines in
   (* only surfaced when a trace sink actually recorded something, so
      untraced runs keep the historical summary shape *)
   let tr = t.trace in
@@ -149,7 +156,7 @@ let summary_lines ?(tier = (0, 0)) ?(plan_memo = (0, 0)) t ~workers
 (** Machine-readable snapshot of everything {!summary_lines} reports
     (plus the raw fields), for CI trend tracking.  One flat JSON object;
     keys are stable, floats fixed-precision, absent subsystems [null]. *)
-let to_json ?(tier = (0, 0)) ?(plan_memo = (0, 0)) t ~workers
+let to_json ?(tier = (0, 0)) ?(plan_memo = (0, 0)) ?dispatch t ~workers
     ~(cache : Cache.stats option) =
   let b = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -189,6 +196,27 @@ let to_json ?(tier = (0, 0)) ?(plan_memo = (0, 0)) t ~workers
    add
      "  \"plan_memo\": { \"hits\": %d, \"lookups\": %d, \"hit_rate_pct\": %.1f },\n"
      hits looked pct);
+  (match dispatch with
+  | None -> add "  \"dispatch\": null,\n"
+  | Some d ->
+      let tot = Dispatch.totals d in
+      add
+        "  \"dispatch\": { \"remote_jobs\": %d, \"local_jobs\": %d, \"holes\": %d, \"hedges\": %d, \"hedge_wins\": %d, \"requeues\": %d, \"duplicate_results\": %d, \"hosts\": ["
+        tot.Dispatch.t_remote_jobs tot.Dispatch.t_local_jobs tot.Dispatch.t_holes
+        tot.Dispatch.t_hedges tot.Dispatch.t_hedge_wins tot.Dispatch.t_requeues
+        tot.Dispatch.t_duplicate_results;
+      List.iteri
+        (fun i (h : Dispatch.host_stats) ->
+          if i > 0 then add ", ";
+          add
+            "{ \"addr\": \"%s\", \"healthy\": %b, \"sent\": %d, \"completed\": %d, \"jobs\": %d, \"retried\": %d, \"hedged\": %d, \"quarantined\": %d, \"failures\": %d, \"rtt_p50_ms\": %.2f, \"rtt_p95_ms\": %.2f }"
+            (Job.json_escape h.Dispatch.hs_addr)
+            h.Dispatch.hs_healthy h.Dispatch.hs_sent h.Dispatch.hs_completed
+            h.Dispatch.hs_jobs h.Dispatch.hs_retried h.Dispatch.hs_hedged
+            h.Dispatch.hs_quarantined h.Dispatch.hs_failures h.Dispatch.hs_rtt_p50_ms
+            h.Dispatch.hs_rtt_p95_ms)
+        (Dispatch.host_stats d);
+      add "] },\n");
   let tr = t.trace in
   add
     "  \"trace\": { \"emitted\": %d, \"dropped\": %d, \"comparisons\": %d, \"detections\": %d, \"fi_marks\": %d }\n"

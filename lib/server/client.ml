@@ -1,46 +1,131 @@
 (** Synchronous client for the serving protocol: one socket, one
-    request in flight (the load generator opens many clients for
-    concurrency).  Request ids are assigned per client and checked
-    against the response, so a desynchronized stream fails loudly
-    instead of mis-attributing verdicts. *)
+    request (or one batch) in flight — the load generator opens many
+    clients for concurrency, the dispatcher one per window slot.
+    Request ids are assigned per client and checked against the
+    response, so a desynchronized stream fails loudly instead of
+    mis-attributing verdicts.
+
+    Connection loss no longer has to end the session: a client created
+    with [~reconnect:n] re-establishes the socket up to [n] times per
+    operation, pacing attempts with the Supervisor's capped exponential
+    backoff + deterministic jitter, and retransmits the request.
+    Retransmission is safe by construction — every request is
+    content-addressed and idempotent, and a reconnect discards the old
+    socket wholesale so no stale response can be mis-attributed.  The
+    default stays [reconnect = 0] (fail fast): the remote dispatcher
+    wants the failure signal for its own quarantine accounting. *)
+
+module Supervisor = Dpmr_engine.Supervisor
+
+type endpoint = Unix_ep of string | Tcp_ep of string * int
+
+let endpoint_name = function
+  | Unix_ep p -> "unix:" ^ p
+  | Tcp_ep (h, p) -> Printf.sprintf "%s:%d" h p
 
 type t = {
-  fd : Unix.file_descr;
+  endpoint : endpoint;
+  mutable fd : Unix.file_descr option;
   mutable next_rid : int;
+  reconnect : int;  (** extra connection attempts per operation *)
+  timeout : float;  (** per-socket send/receive timeout; [0.] = none *)
 }
 
-let connect_unix path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with e ->
-     Unix.close fd;
-     raise e);
-  { fd; next_rid = 1 }
+(* Reconnect pacing: same discipline as job retries, scaled for sockets
+   (10 ms base, capped at 1 s). *)
+let reconnect_policy =
+  { Supervisor.deadline = None; max_retries = 0; backoff = 0.01; backoff_max = 1.0 }
 
-let connect_tcp host port =
-  let addr =
-    try Unix.inet_addr_of_string host
-    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+let establish endpoint timeout =
+  (* a peer may die between our frames; that must surface as EPIPE (a
+     reconnectable Unix_error), not terminate the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd =
+    match endpoint with
+    | Unix_ep path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with e ->
+           Unix.close fd;
+           raise e);
+        fd
+    | Tcp_ep (host, port) ->
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect fd (Unix.ADDR_INET (addr, port));
+           Unix.setsockopt fd Unix.TCP_NODELAY true
+         with e ->
+           Unix.close fd;
+           raise e);
+        fd
   in
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try
-     Unix.connect fd (Unix.ADDR_INET (addr, port));
-     Unix.setsockopt fd Unix.TCP_NODELAY true
-   with e ->
-     Unix.close fd;
-     raise e);
-  { fd; next_rid = 1 }
+  if timeout > 0. then begin
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout with Unix.Unix_error _ -> ());
+    (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout with Unix.Unix_error _ -> ())
+  end;
+  fd
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let connect ?(reconnect = 0) ?(timeout = 0.) endpoint =
+  (* eager connect: callers expect an unreachable server to fail here *)
+  { endpoint; fd = Some (establish endpoint timeout); next_rid = 1; reconnect; timeout }
 
-(** Send one request body; blocks for the matching response and returns
-    its reply.  Raises [Protocol.Closed] if the server hung up and
-    [Failure] on a malformed or mismatched response. *)
-let call t body =
+let connect_unix ?reconnect ?timeout path = connect ?reconnect ?timeout (Unix_ep path)
+let connect_tcp ?reconnect ?timeout host port =
+  connect ?reconnect ?timeout (Tcp_ep (host, port))
+
+let drop t =
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None
+
+let close = drop
+
+let abort t =
+  (* shut both directions down so a [call] blocked in [read] on another
+     thread wakes with a clean EOF; safe to race with [close] *)
+  match t.fd with
+  | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let ensure t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+      let fd = establish t.endpoint t.timeout in
+      t.fd <- Some fd;
+      fd
+
+(* One operation with the reconnect loop around it: any transport-level
+   failure tears the socket down and (budget permitting) re-establishes
+   and retransmits. *)
+let with_retry t op =
+  let rec go attempt =
+    match op () with
+    | r -> r
+    | exception ((Protocol.Closed | Unix.Unix_error _ | Sys_error _ | Failure _) as e) ->
+        drop t;
+        if attempt >= t.reconnect then raise e
+        else begin
+          Unix.sleepf
+            (Supervisor.backoff_delay reconnect_policy
+               ~key:(endpoint_name t.endpoint) ~attempt);
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+let fresh_rid t =
   let rid = t.next_rid in
   t.next_rid <- rid + 1;
-  Protocol.write_frame t.fd (Protocol.encode_request { Protocol.rid; body });
-  match Protocol.read_frame t.fd with
+  rid
+
+let read_reply fd ~rid =
+  match Protocol.read_frame fd with
   | None -> raise Protocol.Closed
   | Some payload -> (
       match Protocol.decode_response payload with
@@ -52,7 +137,47 @@ let call t body =
             failwith
               (Printf.sprintf "response id %d does not answer request %d"
                  resp.Protocol.rrid rid);
-          resp.Protocol.reply)
+          (resp.Protocol.reply, Protocol.decode_response_index payload))
+
+(** Send one request body; blocks for the matching response and returns
+    its reply.  Raises [Protocol.Closed] if the server hung up (after
+    exhausting any reconnect budget) and [Failure] on a malformed or
+    mismatched response. *)
+let call t body =
+  with_retry t (fun () ->
+      let fd = ensure t in
+      let rid = fresh_rid t in
+      Protocol.write_frame fd (Protocol.encode_request { Protocol.rid; body });
+      fst (read_reply fd ~rid))
+
+(** Scatter one chunk: a batch header plus one [run] frame per item,
+    answered by one reply per item in input order.  A response frame
+    carrying the wrong batch index fails the whole call (the stream is
+    desynchronized); the caller re-dispatches the chunk. *)
+let run_batch t params =
+  match params with
+  | [] -> []
+  | _ ->
+      with_retry t (fun () ->
+          let fd = ensure t in
+          let rid = fresh_rid t in
+          let n = List.length params in
+          Protocol.write_frame fd
+            (Protocol.encode_request { Protocol.rid; body = Protocol.Batch n });
+          List.iter
+            (fun p ->
+              Protocol.write_frame fd
+                (Protocol.encode_request { Protocol.rid; body = Protocol.Run p }))
+            params;
+          List.init n (fun i ->
+              let reply, index = read_reply fd ~rid in
+              (match index with
+              | Some j when j <> i ->
+                  failwith
+                    (Printf.sprintf "batch response out of order: got item %d, expected %d"
+                       j i)
+              | _ -> ());
+              reply))
 
 let hello t client_name = call t (Protocol.Hello client_name)
 let ping t = call t Protocol.Ping

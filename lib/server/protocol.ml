@@ -102,10 +102,13 @@ let mode_of_string = function
     program; [plain] injects without the DPMR transformation
     ([Fi_stdapp]); otherwise the config fields select the DPMR build.
     [site] indexes the deterministic [Inject.sites] list of the
-    program.  [budget = 0L] means "resolve from the experiment context"
-    (~20x the golden cost, the batch default).  [forensics] additionally
-    runs the request under a trace sink and returns the
-    corruption→detection report. *)
+    program; [site_ref] names the site outright (function, block,
+    in-block index) and wins over [site] when present — the dispatcher
+    uses it so workers need no site-list resolution round-trip.
+    [budget = 0L] means "resolve from the experiment context" (~20x the
+    golden cost, the batch default).  [forensics] additionally runs the
+    request under a trace sink and returns the corruption→detection
+    report. *)
 type run_params = {
   workload : string;
   scale : int;
@@ -116,6 +119,7 @@ type run_params = {
   plain : bool;
   kind : Inject.kind option;
   site : int;
+  site_ref : Inject.site option;
   mode : Config.mode;
   diversity : Config.diversity;
   policy : Config.policy;
@@ -134,6 +138,7 @@ let default_run =
     plain = false;
     kind = None;
     site = 0;
+    site_ref = None;
     mode = Config.Sds;
     diversity = Config.No_diversity;
     policy = Config.All_loads;
@@ -147,6 +152,13 @@ let config_of (p : run_params) =
 type body =
   | Hello of string  (** client identification, echoed in logs *)
   | Run of run_params
+  | Batch of int
+      (** batch header: the next [n] frames on this connection are [Run]
+          requests forming one batch.  The server executes them as one
+          engine batch (pool parallelism, shared snapshot cells) and
+          answers with [n] frames in input order, each tagged with the
+          header's request id and its batch index ([encode_response
+          ?index]) so a desynchronized stream fails loudly. *)
   | Register of string  (** textual IR; the response carries the minted name *)
   | Stats
   | Drain
@@ -158,6 +170,7 @@ type error_code =
   | Bad_request
   | Unknown_workload
   | Quota
+  | Busy  (** admission refused: the daemon is at [--max-conns] *)
   | Failed  (** the supervisor gave up: deadline / retries exhausted / fatal *)
   | Draining
   | Internal
@@ -166,6 +179,7 @@ let error_code_to_string = function
   | Bad_request -> "bad-request"
   | Unknown_workload -> "unknown-workload"
   | Quota -> "quota"
+  | Busy -> "busy"
   | Failed -> "failed"
   | Draining -> "draining"
   | Internal -> "internal"
@@ -174,6 +188,7 @@ let error_code_of_string = function
   | "bad-request" -> Some Bad_request
   | "unknown-workload" -> Some Unknown_workload
   | "quota" -> Some Quota
+  | "busy" -> Some Busy
   | "failed" -> Some Failed
   | "draining" -> Some Draining
   | "internal" -> Some Internal
@@ -209,6 +224,7 @@ let encode_request { rid; body } =
   | Stats -> add ",\"t\":\"stats\""
   | Drain -> add ",\"t\":\"drain\""
   | Ping -> add ",\"t\":\"ping\""
+  | Batch n -> add ",\"t\":\"batch\",\"n\":%d" n
   | Run p ->
       add ",\"t\":\"run\",\"workload\":\"%s\",\"scale\":%d" (esc p.workload) p.scale;
       add ",\"eseed\":%Ld,\"rseed\":%Ld,\"budget\":%Ld" p.exp_seed p.run_seed p.budget;
@@ -216,6 +232,11 @@ let encode_request { rid; body } =
       add ",\"kind\":%s"
         (match p.kind with Some k -> Printf.sprintf "\"%s\"" (kind_to_string k) | None -> "null");
       add ",\"site\":%d" p.site;
+      (match p.site_ref with
+      | None -> ()
+      | Some s ->
+          add ",\"sfunc\":\"%s\",\"sblock\":\"%s\",\"sidx\":%d" (esc s.Inject.func)
+            (esc s.Inject.block) s.Inject.index);
       add ",\"mode\":\"%s\",\"diversity\":\"%s\",\"policy\":\"%s\",\"cseed\":%Ld"
         (mode_to_string p.mode)
         (diversity_to_string p.diversity)
@@ -224,10 +245,11 @@ let encode_request { rid; body } =
   Buffer.add_char b '}';
   Buffer.contents b
 
-let encode_response { rrid; reply } =
+let encode_response ?index { rrid; reply } =
   let b = Buffer.create 256 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\"v\":%d,\"id\":%d" version rrid;
+  (match index with Some i -> add ",\"i\":%d" i | None -> ());
   (match reply with
   | Ack msg -> add ",\"t\":\"ok\",\"msg\":\"%s\"" (esc msg)
   | Registered name -> add ",\"t\":\"registered\",\"name\":\"%s\"" (esc name)
@@ -332,6 +354,15 @@ let decode_run fields =
         Ok (Some k)
   in
   let* site = int_field fields "site" ~default:0 in
+  let* sfunc = opt_str fields "sfunc" in
+  let* site_ref =
+    match sfunc with
+    | None -> Ok None
+    | Some func ->
+        let* block = str fields "sblock" in
+        let* index = int_field fields "sidx" ~default:0 in
+        Ok (Some { Inject.func; block; index })
+  in
   let* mode_s = str_field fields "mode" ~default:"sds" in
   let* mode = atom "mode" mode_of_string mode_s in
   let* div_s = str_field fields "diversity" ~default:"no-diversity" in
@@ -351,6 +382,7 @@ let decode_run fields =
       plain;
       kind;
       site;
+      site_ref;
       mode;
       diversity;
       policy;
@@ -377,9 +409,21 @@ let decode_request line =
     | "run" ->
         let* p = decode_run fields in
         Ok (Run p)
+    | "batch" ->
+        let* n = int_field fields "n" ~default:0 in
+        if n < 1 then Error "batch size must be >= 1" else Ok (Batch n)
     | other -> Error (Printf.sprintf "unknown request type %S" other)
   in
   Ok { rid; body }
+
+(* The batch index a response frame was tagged with ([encode_response
+   ?index]); decoded separately so the [response] record (and every
+   single-request call site) keeps its historical shape. *)
+let decode_response_index line =
+  match fields_of line with
+  | Error _ -> None
+  | Ok fields -> (
+      match List.assoc_opt "i" fields with Some (`Int i) -> Some (Int64.to_int i) | _ -> None)
 
 let decode_response line =
   let* fields = fields_of line in

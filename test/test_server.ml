@@ -48,6 +48,13 @@ let sample_runs =
       exp_seed = -1L;
       run_seed = Int64.max_int;
     };
+    (* an explicit site reference (the dispatcher ships resolved sites) *)
+    {
+      Protocol.default_run with
+      Protocol.kind = Some Inject.Immediate_free;
+      site_ref = Some { Inject.func = "main"; block = "bb \"7\""; index = 12 };
+      budget = 1000L;
+    };
   ]
 
 let sample_requests =
@@ -178,6 +185,16 @@ let gen_run =
   bool >>= fun plain ->
   bool >>= fun forensics ->
   oneofl [ Config.Sds; Config.Mds ] >>= fun mode ->
+  oneof
+    [
+      return None;
+      map3
+        (fun func block index -> Some { Inject.func; block; index })
+        (oneofl [ "main"; "compress"; "f0" ])
+        (oneofl [ "entry"; "bb3"; "loop.body" ])
+        (int_range 0 99);
+    ]
+  >>= fun site_ref ->
   return
     {
       Protocol.workload;
@@ -189,6 +206,7 @@ let gen_run =
       plain;
       kind;
       site;
+      site_ref;
       mode;
       diversity;
       policy;
@@ -371,6 +389,165 @@ let test_daemon_end_to_end () =
   Alcotest.(check bool) "socket removed on drain" false (Sys.file_exists sock);
   Engine.close engine
 
+let boot ?(cfg = Server.default_config) dir name =
+  let engine =
+    Engine.create ~jobs:2 ~use_cache:true
+      ~cache_dir:(Filename.concat dir (name ^ ".cache"))
+      ~resident:true ()
+  in
+  let sock = Filename.concat dir (name ^ ".sock") in
+  let cfg = { cfg with Server.listen = Server.Unix_sock sock } in
+  let t = Server.create ~cfg engine in
+  let ready = Atomic.make false in
+  let d = Domain.spawn (fun () -> Server.serve ~ready:(fun () -> Atomic.set ready true) t) in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.01
+  done;
+  (t, d, engine, sock)
+
+let stop (t, d, engine, _) =
+  Server.request_drain t;
+  Domain.join d;
+  Engine.close engine
+
+let test_batch_round_trip () =
+  in_tmp_dir @@ fun dir ->
+  let ((t, _, _, sock) as srv) = boot dir "batch" in
+  Fun.protect ~finally:(fun () -> stop srv) @@ fun () ->
+  let c = Client.connect_unix sock in
+  let params =
+    [
+      run_req "mcf" `Golden;
+      run_req "mcf" `Nofi;
+      { Protocol.default_run with Protocol.workload = "nope" };
+      run_req "mcf" (`Fi Inject.Immediate_free);
+    ]
+  in
+  let replies = Client.run_batch c params in
+  Alcotest.(check int) "one reply per batch item" (List.length params)
+    (List.length replies);
+  List.iteri
+    (fun i (p, reply) ->
+      match (i, reply) with
+      | 2, Protocol.Error (Protocol.Unknown_workload, _) -> ()
+      | 2, _ -> Alcotest.fail "bad batch item must fail alone, in its slot"
+      | _, _ ->
+          let v = expect_verdict reply in
+          let local = expect_verdict (Server.run_one t p) in
+          Alcotest.(check bool)
+            (Printf.sprintf "batch verdict %d = in-process verdict" i)
+            true
+            (v.Protocol.cls = local.Protocol.cls))
+    (List.combine params replies);
+  (* a zero-length batch header is malformed: typed error, not a hang *)
+  (match Client.call c (Protocol.Batch 0) with
+  | Protocol.Error (Protocol.Bad_request, _) -> ()
+  | _ -> Alcotest.fail "empty batch header must be rejected");
+  Client.close c
+
+let test_max_conns_busy () =
+  in_tmp_dir @@ fun dir ->
+  let ((_, _, _, sock) as srv) =
+    boot ~cfg:{ Server.default_config with Server.max_conns = 1 } dir "busy"
+  in
+  Fun.protect ~finally:(fun () -> stop srv) @@ fun () ->
+  let c1 = Client.connect_unix sock in
+  (match Client.hello c1 "first" with
+  | Protocol.Ack _ -> ()
+  | _ -> Alcotest.fail "first connection must be served");
+  (* the second connection is told why, with a typed error — never a
+     silent hangup.  The refusal frame is pushed at accept time, so read
+     it without writing (the server end is already closed). *)
+  let c2 = Client.connect_unix sock in
+  (match c2.Client.fd with
+  | None -> Alcotest.fail "over-limit client lost its socket"
+  | Some fd -> (
+      match Protocol.read_frame fd with
+      | Some payload -> (
+          match Protocol.decode_response payload with
+          | Ok { Protocol.reply = Protocol.Error (Protocol.Busy, msg); _ } ->
+              Alcotest.(check bool) "mentions the limit" true (String.length msg > 0)
+          | Ok _ -> Alcotest.fail "over-limit client must get a Busy error"
+          | Error e -> Alcotest.failf "malformed refusal frame: %s" e)
+      | None -> Alcotest.fail "over-limit client must get a Busy frame, not a hangup"));
+  Client.close c2;
+  (* capacity frees when the first client leaves *)
+  Client.close c1;
+  let rec retry n =
+    let c3 = Client.connect_unix sock in
+    match Client.ping c3 with
+    | Protocol.Ack _ -> Client.close c3
+    | _ when n > 0 ->
+        Client.close c3;
+        Unix.sleepf 0.02;
+        retry (n - 1)
+    | _ -> Alcotest.fail "slot must free after disconnect"
+  in
+  retry 100
+
+let test_client_reconnect () =
+  (* a crashy mini-server: hangs up on its first two requests without
+     replying, then serves pings properly.  A client with a reconnect
+     budget must retransmit through both crashes; one without must
+     fail fast. *)
+  in_tmp_dir @@ fun dir ->
+  let sock = Filename.concat dir "crashy.sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX sock);
+  Unix.listen lfd 8;
+  let srv =
+    Domain.spawn (fun () ->
+        (* two abrupt hangups *)
+        for _ = 1 to 2 do
+          let cfd, _ = Unix.accept lfd in
+          ignore (Protocol.read_frame cfd);
+          Unix.close cfd
+        done;
+        (* then an honest ping server *)
+        let cfd, _ = Unix.accept lfd in
+        let rec loop () =
+          match Protocol.read_frame cfd with
+          | None -> ()
+          | Some payload ->
+              (match Protocol.decode_request payload with
+              | Ok { Protocol.rid; body = Protocol.Ping } ->
+                  Protocol.write_frame cfd
+                    (Protocol.encode_response
+                       { Protocol.rrid = rid; reply = Protocol.Ack "pong" })
+              | _ -> ());
+              loop ()
+        in
+        loop ();
+        Unix.close cfd;
+        Unix.close lfd)
+  in
+  let c = Client.connect_unix ~reconnect:5 sock in
+  (match Client.ping c with
+  | Protocol.Ack _ -> ()
+  | _ -> Alcotest.fail "ping must survive two server crashes via reconnect");
+  Client.close c;
+  Domain.join srv
+
+let test_client_no_reconnect_fails_fast () =
+  in_tmp_dir @@ fun dir ->
+  let sock = Filename.concat dir "once.sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX sock);
+  Unix.listen lfd 8;
+  let srv =
+    Domain.spawn (fun () ->
+        let cfd, _ = Unix.accept lfd in
+        ignore (Protocol.read_frame cfd);
+        Unix.close cfd;
+        Unix.close lfd)
+  in
+  let c = Client.connect_unix sock in
+  (match Client.ping c with
+  | exception (Protocol.Closed | Unix.Unix_error _) -> ()
+  | _ -> Alcotest.fail "default client must surface the hangup");
+  Client.close c;
+  Domain.join srv
+
 let suites =
   [
     ( "server/protocol",
@@ -387,5 +564,13 @@ let suites =
         Alcotest.test_case "register IR" `Quick test_register_ir;
       ] );
     ( "server/daemon",
-      [ Alcotest.test_case "end to end over unix socket" `Quick test_daemon_end_to_end ] );
+      [
+        Alcotest.test_case "end to end over unix socket" `Quick test_daemon_end_to_end;
+        Alcotest.test_case "batch round-trip" `Quick test_batch_round_trip;
+        Alcotest.test_case "max-conns refuses with busy" `Quick test_max_conns_busy;
+        Alcotest.test_case "client reconnects through crashes" `Quick
+          test_client_reconnect;
+        Alcotest.test_case "client without budget fails fast" `Quick
+          test_client_no_reconnect_fails_fast;
+      ] );
   ]
