@@ -100,6 +100,57 @@ let policy_t =
 let plain_t =
   Arg.(value & flag & info [ "plain" ] ~doc:"Run without the DPMR transformation.")
 
+(* ---- N-version options ---- *)
+
+let replicas_t =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "replica count must be >= 1 (got %d)" n))
+    | None -> Error (`Msg (Printf.sprintf "replica count must be an integer (got %S)" s))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Fmt.int)) 1
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:"Number of diverse replicas (N-version replication; 1 = the paper's design).")
+
+let families_t =
+  let parse s =
+    let fs =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun f -> f <> "")
+    in
+    match Dpmr_core.Diversity_family.resolve fs with
+    | Ok _ -> Ok fs
+    | Error bad ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown diversity family %S (registered: %s)" bad
+                (match Dpmr_core.Diversity_family.names () with
+                | [] -> "none"
+                | ns -> String.concat ", " ns)))
+  in
+  let print ppf fs = Fmt.string ppf (String.concat "," fs) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) []
+    & info [ "families" ] ~docv:"F1,F2"
+        ~doc:"Comma-separated diversity-transform families applied per replica \
+              (see 'dpmr list' for the registry).")
+
+let vote_t =
+  Arg.(
+    value
+    & opt (enum [ ("any-mismatch", Config.Any_mismatch); ("majority", Config.Majority) ])
+        Config.Any_mismatch
+    & info [ "vote" ] ~doc:"Per-site voting rule across replicas: any-mismatch | majority.")
+
+(** Configs built by commands that do not expose the N-version axes keep
+    the single-replica defaults. *)
+let cfg_of mode diversity policy seed =
+  { Config.default with Config.mode; diversity; policy; seed }
+
 let workload_t =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
 
@@ -120,28 +171,34 @@ let report_run (r : Outcome.run) =
 (* ---- commands ---- *)
 
 let run_cmd =
-  let go name scale seed mode diversity policy plain =
+  let go name scale seed mode diversity policy plain replicas families vote =
     let prog = build_workload name scale in
     let r =
       if plain then Dpmr.run_plain ~seed prog
       else
-        let cfg = { Config.mode; diversity; policy; seed } in
+        let cfg = { (cfg_of mode diversity policy seed) with Config.replicas; families; vote } in
         Dpmr.run_dpmr ~seed cfg prog
     in
     report_run r
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload, optionally under DPMR.")
-    Term.(const go $ workload_t $ scale_t $ seed_t $ mode_t $ diversity_t $ policy_t $ plain_t)
+    Term.(
+      const go $ workload_t $ scale_t $ seed_t $ mode_t $ diversity_t $ policy_t $ plain_t
+      $ replicas_t $ families_t $ vote_t)
 
 let transform_cmd =
-  let go name scale mode diversity policy =
+  let go name scale mode diversity policy replicas families vote =
     let prog = build_workload name scale in
-    let cfg = { Config.default with Config.mode; diversity; policy } in
+    let cfg =
+      { Config.default with Config.mode; diversity; policy; replicas; families; vote }
+    in
     let tp = Dpmr.transform cfg prog in
     print_string (Dpmr_ir.Printer.prog_to_string tp)
   in
   Cmd.v (Cmd.info "transform" ~doc:"Print the DPMR-transformed IR of a workload.")
-    Term.(const go $ workload_t $ scale_t $ mode_t $ diversity_t $ policy_t)
+    Term.(
+      const go $ workload_t $ scale_t $ mode_t $ diversity_t $ policy_t $ replicas_t
+      $ families_t $ vote_t)
 
 let sites_cmd =
   let go name scale =
@@ -174,7 +231,7 @@ let inject_cmd =
     | Some site ->
         let variant =
           if plain then Experiment.Fi_stdapp (kind, site)
-          else Experiment.Fi_dpmr ({ Config.mode; diversity; policy; seed }, kind, site)
+          else Experiment.Fi_dpmr (cfg_of mode diversity policy seed, kind, site)
         in
         let c = Experiment.run_variant e variant in
         Printf.printf "site    : %s\n" (Inject.site_name site);
@@ -217,7 +274,7 @@ let runfile_cmd =
     Dpmr_ir.Verifier.check_prog prog;
     let r =
       if plain then Dpmr.run_plain ~seed prog
-      else Dpmr.run_dpmr ~seed { Config.mode; diversity; policy; seed } prog
+      else Dpmr.run_dpmr ~seed (cfg_of mode diversity policy seed) prog
     in
     report_run r
   in
@@ -260,23 +317,31 @@ let recover_cmd =
     Arg.(value & opt kind_conv (Inject.Heap_array_resize 50) & info [ "kind" ] ~doc:"resize | free.")
   in
   let site_t = Arg.(value & opt int 0 & info [ "site" ] ~docv:"N" ~doc:"Site index.") in
-  let go name scale seed mode diversity policy kind site_idx =
+  let go name scale seed mode diversity policy kind site_idx families =
     let wk = Experiment.workload name (fun () -> build_workload name scale) in
     let e = Experiment.make ~seed wk in
     match List.nth_opt (Experiment.sites e kind) site_idx with
     | None -> Printf.eprintf "no such site\n"
     | Some site ->
         let injected = Dpmr_fi.Inject.apply e.Experiment.base kind site in
-        let cfg = { Config.mode; diversity; policy; seed } in
+        let cfg = cfg_of mode diversity policy seed in
+        (* escalate through heap pads first (the paper's Rx environment
+           change), then through any requested diversity families *)
+        let escalation =
+          List.map (fun p -> Dpmr_core.Rx.Pad p) [ 8; 64; 1024; 8192 ]
+          @ List.map (fun f -> Dpmr_core.Rx.Family f) families
+        in
         let res =
           Dpmr_core.Rx.run_with_recovery ~budget:e.Experiment.budget cfg injected
-            ~escalation:[ 8; 64; 1024; 8192 ]
+            ~escalation
         in
         Printf.printf "first run : %s\n"
           (Outcome.to_string res.Dpmr_core.Rx.first.Outcome.outcome);
         Printf.printf "attempts  : %d\n" res.Dpmr_core.Rx.attempts;
         (match res.Dpmr_core.Rx.recovered_with with
-        | Some pad -> Printf.printf "recovered : yes, with %d-byte padding\n" pad
+        | Some change ->
+            Printf.printf "recovered : yes, with %s\n"
+              (Dpmr_core.Rx.env_change_name change)
         | None -> Printf.printf "recovered : no\n");
         Printf.printf "final     : %s\n"
           (Outcome.to_string res.Dpmr_core.Rx.final.Outcome.outcome)
@@ -285,7 +350,7 @@ let recover_cmd =
     (Cmd.info "recover" ~doc:"Inject a fault, detect it with DPMR, recover Rx-style.")
     Term.(
       const go $ workload_t $ scale_t $ seed_t $ mode_t $ diversity_t $ policy_t $ kind_t
-      $ site_t)
+      $ site_t $ families_t)
 
 let jobs_t =
   Arg.(
@@ -417,9 +482,9 @@ let report_cmd =
           ~doc:"Duplicate a straggling chunk onto a second healthy worker \
                 after $(docv) milliseconds; first result wins (0 disables).")
   in
-  let go id fig scale seed reps jobs no_cache no_snapshot chaos deadline retries
-      backoff_ms telemetry_json tier remote_workers min_workers window chunk
-      hedge_ms =
+  let go id fig scale seed reps replicas families vote jobs no_cache no_snapshot
+      chaos deadline retries backoff_ms telemetry_json tier remote_workers
+      min_workers window chunk hedge_ms =
     (match tier with None -> () | Some m -> Dpmr_vm.Vm.set_tier_mode m);
     (match chaos with
     | None -> () (* DPMR_CHAOS, if set, still applies via Chaos.active *)
@@ -497,10 +562,11 @@ let report_cmd =
         Engine.drain engine;
         write_telemetry ());
     Drain.graceful_exit ();
-    let ctx = Figures.create ~scale ~seed ~reps ~engine () in
+    let ctx = Figures.create ~scale ~seed ~reps ~replicas ~families ~vote ~engine () in
     (if id = "all" then Figures.run_all ctx
      else if id = "forensics" then
        Figures.forensics ctx (Option.value fig ~default:"fig-3.6")
+     else if id = "nversion-surface" then Figures.nversion_surface ctx
      else if List.mem id Figures.ids then Figures.run ctx id
      else die "unknown experiment %S (see 'dpmr list')" id);
     Engine.print_summary engine;
@@ -511,10 +577,10 @@ let report_cmd =
        ~doc:"Regenerate a paper table/figure ('all' for everything; 'forensics \
              FIG' for a traced fault grid).")
     Term.(
-      const go $ id_t $ fig_t $ scale_t $ seed_t $ reps_t $ jobs_t $ no_cache_t
-      $ no_snapshot_t $ chaos_t $ deadline_t $ retries_t $ backoff_ms_t
-      $ telemetry_json_t $ tier_t $ remote_workers_t $ min_workers_t $ window_t
-      $ chunk_t $ hedge_ms_t)
+      const go $ id_t $ fig_t $ scale_t $ seed_t $ reps_t $ replicas_t
+      $ families_t $ vote_t $ jobs_t $ no_cache_t $ no_snapshot_t $ chaos_t
+      $ deadline_t $ retries_t $ backoff_ms_t $ telemetry_json_t $ tier_t
+      $ remote_workers_t $ min_workers_t $ window_t $ chunk_t $ hedge_ms_t)
 
 let cache_cmd =
   let action_t =
@@ -652,7 +718,7 @@ let trace_cmd =
           in
           let variant =
             if plain then Experiment.Fi_stdapp (kind, site)
-            else Experiment.Fi_dpmr ({ Config.mode; diversity; policy; seed }, kind, site)
+            else Experiment.Fi_dpmr (cfg_of mode diversity policy seed, kind, site)
           in
           let tr = Forensics.run_variant ~capacity ~sample_every:sample e variant in
           Printf.printf "site    : %s\n" (Inject.site_name site);
@@ -668,7 +734,7 @@ let trace_cmd =
           let r =
             Trace.with_sink sink (fun () ->
                 if plain then Dpmr.run_plain ~seed prog
-                else Dpmr.run_dpmr ~seed { Config.mode; diversity; policy; seed } prog)
+                else Dpmr.run_dpmr ~seed (cfg_of mode diversity policy seed) prog)
           in
           Printf.printf "outcome : %s\n" (Outcome.to_string r.Outcome.outcome);
           Printf.printf "cost    : %Ld units\n" r.Outcome.cost;
@@ -724,7 +790,15 @@ let list_cmd =
     print_endline "experiments:";
     List.iter
       (fun (id, desc, _) -> Printf.printf "  %-12s %s\n" id desc)
-      Figures.all
+      Figures.all;
+    Printf.printf "  %-12s %s\n" "nversion-surface"
+      "N-version detection surface over (N, family set, fault model)";
+    print_endline "diversity families (--families):";
+    List.iter
+      (fun n ->
+        Printf.printf "  %-14s %s\n" n
+          (Option.value ~default:"" (Dpmr_core.Diversity_family.description n)))
+      (Dpmr_core.Diversity_family.names ())
   in
   Cmd.v (Cmd.info "list" ~doc:"List workloads and experiment ids.") Term.(const go $ const ())
 
@@ -734,5 +808,8 @@ let () =
      a larger minor heap (32 MB vs the 2 MB default, in words) cuts minor
      collections during experiment sweeps. *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
+  (* the standard diversity families must be registered before any
+     --families value is validated *)
+  Dpmr_nversion.Families.ensure ();
   let info = Cmd.info "dpmr" ~doc:"Diverse Partial Memory Replication reproduction." in
   exit (Cmd.eval (Cmd.group info [ run_cmd; transform_cmd; sites_cmd; inject_cmd; dsa_cmd; recover_cmd; dump_cmd; runfile_cmd; report_cmd; cache_cmd; trace_cmd; list_cmd ]))

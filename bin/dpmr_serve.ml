@@ -195,4 +195,7 @@ let cmd =
 
 let () =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
+  (* populate the diversity-family registry before any request can name
+     a family; without this every N-version request would be rejected *)
+  Dpmr_nversion.Families.ensure ();
   exit (Cmd.eval cmd)

@@ -29,14 +29,35 @@ type policy =
           check [i mod 64] executes (Table 2.9) *)
   | Static of float  (** compile-time probability that a load site keeps its check *)
 
+(** Per-site voting rule across the N replicas (N-version extension).
+    With a single replica the two coincide: one mismatch is both "any"
+    and a majority. *)
+type vote =
+  | Any_mismatch  (** any replica disagreeing with the application detects *)
+  | Majority  (** more than N/2 replicas must disagree *)
+
 type t = {
   mode : mode;
   diversity : diversity;
   policy : policy;
   seed : int64;  (** drives static-policy coin flips and rearrange-heap *)
+  replicas : int;  (** N >= 1 diverse replicas; 1 is the paper's design *)
+  families : string list;
+      (** diversity-family names ({!Diversity_family} registry), applied
+          to every replica with per-replica deterministic seeding *)
+  vote : vote;
 }
 
-let default = { mode = Sds; diversity = No_diversity; policy = All_loads; seed = 42L }
+let default =
+  {
+    mode = Sds;
+    diversity = No_diversity;
+    policy = All_loads;
+    seed = 42L;
+    replicas = 1;
+    families = [];
+    vote = Any_mismatch;
+  }
 
 (* The three masks evaluated in §2.7: repeating the printed 32-bit
    constants to 64 bits gives the stated 1/8, 1/2 and 7/8 densities. *)
@@ -63,6 +84,17 @@ let policy_name = function
       Printf.sprintf "temporal-%d/64" !bits
   | Static f -> Printf.sprintf "static-%d%%" (int_of_float (f *. 100.))
 
+let vote_name = function Any_mismatch -> "any-mismatch" | Majority -> "majority"
+
+(* The N-version axes render only when non-default, so every display
+   label of the paper's single-replica grid is unchanged. *)
+let nversion_suffix c =
+  if c.replicas = 1 && c.families = [] && c.vote = Any_mismatch then ""
+  else
+    Printf.sprintf "/n%d%s%s" c.replicas
+      (match c.families with [] -> "" | fs -> "/" ^ String.concat "+" fs)
+      (match c.vote with Any_mismatch -> "" | Majority -> "/majority")
+
 let name c =
-  Printf.sprintf "%s/%s/%s" (mode_name c.mode) (diversity_name c.diversity)
-    (policy_name c.policy)
+  Printf.sprintf "%s/%s/%s%s" (mode_name c.mode) (diversity_name c.diversity)
+    (policy_name c.policy) (nversion_suffix c)

@@ -30,14 +30,26 @@ type policy =
           (Table 2.9) *)
   | Static of float  (** compile-time keep-probability per load site *)
 
+(** Per-site voting rule across the N replicas (N-version extension);
+    with one replica the two coincide. *)
+type vote =
+  | Any_mismatch  (** any replica disagreeing with the application detects *)
+  | Majority  (** more than N/2 replicas must disagree *)
+
 type t = {
   mode : mode;
   diversity : diversity;
   policy : policy;
   seed : int64;  (** drives static-policy coin flips and rearrange-heap *)
+  replicas : int;  (** N >= 1 diverse replicas; 1 is the paper's design *)
+  families : string list;
+      (** diversity-family names ({!Diversity_family} registry), applied
+          to every replica with per-replica deterministic seeding *)
+  vote : vote;
 }
 
-(** SDS, no diversity, all loads, seed 42. *)
+(** SDS, no diversity, all loads, seed 42, one replica, no families,
+    any-mismatch voting — the paper's configuration. *)
 val default : t
 
 (** The §2.7 masks: 1/8, 1/2 and 7/8 checking density. *)
@@ -49,4 +61,10 @@ val temporal_mask_7_8 : int64
 val mode_name : mode -> string
 val diversity_name : diversity -> string
 val policy_name : policy -> string
+val vote_name : vote -> string
+
+(** Display rendering of the N-version axes; [""] for the single-replica
+    default, so the paper grid's labels are unchanged. *)
+val nversion_suffix : t -> string
+
 val name : t -> string

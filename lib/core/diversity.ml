@@ -32,19 +32,27 @@ let prepare (d : Config.diversity) (dst : Prog.t) =
 
 (** Emit the replica heap allocation for an application allocation of
     [count] objects of (augmented) type [aug_ty].  Returns an operand of
-    type [Ptr aug_ty]. *)
-let emit_replica_malloc state (d : Config.diversity) (b : Builder.t) aug_ty count =
-  let plain () = Builder.malloc b ~name:"rep" ~count aug_ty in
+    type [Ptr aug_ty].  [extra_pad] is the N-version diversity-family
+    request growth for this (replica, site); 0 preserves the paper's
+    emission byte for byte. *)
+let emit_replica_malloc state (d : Config.diversity) ?(extra_pad = 0)
+    (b : Builder.t) aug_ty count =
+  let padded_request ~label pad =
+    (* replica request becomes a byte-array request of
+       sizeof(aug) * count + pad, then cast back (Table 2.8) *)
+    let esz = Layout.size_of b.Builder.prog.Prog.tenv aug_ty in
+    let bytes = Builder.mul b W64 count (Builder.i64c esz) in
+    let padded = Builder.add b W64 bytes (Builder.i64c pad) in
+    let raw = Builder.malloc b ~name:label ~count:padded i8 in
+    Builder.bitcast b (Ptr aug_ty) raw
+  in
+  let plain () =
+    if extra_pad = 0 then Builder.malloc b ~name:"rep" ~count aug_ty
+    else padded_request ~label:"rep.pad" extra_pad
+  in
   match d with
   | Config.No_diversity | Config.Zero_before_free | Config.Pad_alloca _ -> plain ()
-  | Config.Pad_malloc pad ->
-      (* pad-malloc-y: replica request becomes a byte-array request of
-         sizeof(aug) * count + pad, then cast back (Table 2.8) *)
-      let esz = Layout.size_of b.Builder.prog.Prog.tenv aug_ty in
-      let bytes = Builder.mul b W64 count (Builder.i64c esz) in
-      let padded = Builder.add b W64 bytes (Builder.i64c pad) in
-      let raw = Builder.malloc b ~name:"rep.pad" ~count:padded i8 in
-      Builder.bitcast b (Ptr aug_ty) raw
+  | Config.Pad_malloc pad -> padded_request ~label:"rep.pad" (pad + extra_pad)
   | Config.Rearrange_heap ->
       (* allocate 1..20 dummies of the same request, allocate the replica,
          free the dummies — randomizing the replica's placement *)
@@ -62,7 +70,7 @@ let emit_replica_malloc state (d : Config.diversity) (b : Builder.t) aug_ty coun
           let dummy8 = Builder.bitcast b (Ptr i8) dummy in
           let slot = Builder.gep_index b buf j in
           Builder.store b (Ptr i8) dummy8 slot);
-      let rep = Builder.malloc b ~name:"rep" ~count aug_ty in
+      let rep = plain () in
       Builder.for_ b ~from:(Builder.i64c 0) ~below:k (fun j ->
           let slot = Builder.gep_index b buf j in
           let dummy = Builder.load b (Ptr i8) slot in

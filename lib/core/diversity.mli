@@ -18,9 +18,11 @@ val rearrange_slots : int
 val prepare : Config.diversity -> Prog.t -> state
 
 (** Emit the replica heap allocation for [count] objects of (augmented)
-    type [aug_ty]; returns an operand of type [Ptr aug_ty]. *)
+    type [aug_ty]; returns an operand of type [Ptr aug_ty].  [extra_pad]
+    (default 0) adds the N-version diversity-family request growth for
+    this (replica, site). *)
 val emit_replica_malloc :
-  state -> Config.diversity -> Builder.t -> ty -> operand -> operand
+  state -> Config.diversity -> ?extra_pad:int -> Builder.t -> ty -> operand -> operand
 
 (** Emit the replica deallocation (zero-before-free zeroes first). *)
 val emit_replica_free : state -> Config.diversity -> Builder.t -> operand -> unit

@@ -26,6 +26,7 @@ val vm_dpmr :
   ?budget:int64 ->
   ?lowered:Dpmr_vm.Lower.prog ->
   mode:Config.mode ->
+  ?replicas:int ->
   Prog.t ->
   Vm.t
 
@@ -47,6 +48,7 @@ val run_transformed :
   ?args:string list ->
   ?lowered:Dpmr_vm.Lower.prog ->
   mode:Config.mode ->
+  ?replicas:int ->
   Prog.t ->
   Outcome.run
 
@@ -75,6 +77,7 @@ val watched_transformed :
   ?args:string list ->
   ?lowered:Dpmr_vm.Lower.prog ->
   mode:Config.mode ->
+  ?replicas:int ->
   Prog.t ->
   (string, int array) Hashtbl.t array ->
   Vm.watch_result array
@@ -94,6 +97,7 @@ val resume_transformed :
   ?lowered:Dpmr_vm.Lower.prog ->
   ?remap:(string -> Dpmr_vm.Lower.remap option) ->
   mode:Config.mode ->
+  ?replicas:int ->
   Prog.t ->
   Vm.snapshot ->
   Outcome.run

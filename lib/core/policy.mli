@@ -20,7 +20,20 @@ val prepare : Config.policy -> int64 -> Prog.t -> state
     the detect label on mismatch. *)
 val emit_compare : Builder.t -> ty -> operand -> operand -> string -> unit
 
-(** Emit the (policy-gated) load check for one site; returns whether any
-    check code was emitted. *)
+(** Emit the N-replica vote for one site over the replica addresses; a
+    single address reproduces {!emit_compare} exactly under either rule. *)
+val emit_vote :
+  Config.vote -> Builder.t -> ty -> operand -> operand list -> string -> unit
+
+(** Emit the (policy-gated) load check for one site across the N replica
+    addresses; returns whether any check code was emitted. *)
 val emit_check :
-  state -> Config.policy -> Builder.t -> ty -> operand -> operand -> string -> bool
+  state ->
+  Config.policy ->
+  Config.vote ->
+  Builder.t ->
+  ty ->
+  operand ->
+  operand list ->
+  string ->
+  bool

@@ -9,10 +9,23 @@ open Dpmr_ir
     given number of bytes. *)
 val pad_heap_requests : Prog.t -> int -> Prog.t
 
+(** An Rx environment change: program-wide heap padding, or a registered
+    N-version diversity family applied as a whole-program rewrite. *)
+type env_change = Pad of int | Family of string
+
+val env_change_name : env_change -> string
+
+(** Apply an environment change to a (cloned) program; [None] when the
+    change is inapplicable — unregistered family, or a family with no
+    whole-program rewrite.  Inapplicable escalation steps are skipped
+    by {!run_with_recovery} without counting as attempts. *)
+val apply_env_change : Prog.t -> seed:int64 -> env_change -> Prog.t option
+
 type recovery_result = {
   first : Dpmr_vm.Outcome.run;  (** the original (detecting) run *)
   final : Dpmr_vm.Outcome.run;  (** the last run performed *)
-  recovered_with : int option;  (** padding that produced a clean run *)
+  recovered_with : env_change option;
+      (** environment change that produced a clean run *)
   attempts : int;
 }
 
@@ -22,5 +35,5 @@ val run_with_recovery :
   ?args:string list ->
   Config.t ->
   Prog.t ->
-  escalation:int list ->
+  escalation:env_change list ->
   recovery_result

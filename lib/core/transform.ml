@@ -25,8 +25,11 @@ let is_intrinsic name =
   && (String.sub name 0 (min 7 (String.length name)) = "__dpmr_"
      || String.sub name 0 (min 5 (String.length name)) = "__fi_")
 
-(** New-register triple for an original register. *)
-type triple = { app : reg; rep : reg option; shd : reg option }
+(** New-register group for an original register: the application register
+    plus one replica register per replica ([reps] is empty for
+    non-pointers) and the SDS shadow register.  With N = 1 this is the
+    dissertation's (x, xr, xs) triple. *)
+type triple = { app : reg; reps : reg array; shd : reg option }
 
 type env = {
   cfg : Config.t;
@@ -35,6 +38,10 @@ type env = {
   dst : Prog.t;
   pol : Policy.state;
   div : Diversity.state;
+  nrep : int;  (** replica count N (>= 1) *)
+  fams : Diversity_family.instance list;
+      (** resolved N-version diversity families, hook order = config order *)
+  asite : int ref;  (** global heap-allocation-site counter (family seeding) *)
   excluded : string -> reg -> bool;
       (** Chapter 5 scope refinement: accesses through excluded registers
           (memory DSA cannot vouch for) keep their original behaviour and
@@ -42,7 +49,16 @@ type env = {
 }
 
 let rep_global g = g ^ ".rep"
+
+(** Replica [k]'s global name: replica 0 keeps the paper's [".rep"]
+    suffix; extras are numbered from 2. *)
+let rep_global_k g k =
+  if k = 0 then rep_global g else Printf.sprintf "%s.rep%d" g (k + 1)
+
 let shd_global g = g ^ ".sdw"
+
+(** Replica [k]'s register suffix for parameter/register names. *)
+let rep_suffix k = if k = 0 then "_r" else Printf.sprintf "_r%d" (k + 1)
 
 let efw_name n = n ^ "_efw"
 
@@ -57,20 +73,24 @@ let map_fun_name env n =
 (* ------------------------------------------------------------------ *)
 
 (** Shadow initializer for a global of type [ty] with initializer [g]:
-    keeps only pointer positions, each becoming an {ROP; NSOP} pair
-    (§2.8: replica/shadow memory for globals is statically initialized). *)
+    keeps only pointer positions, each becoming an {ROP_1..ROP_N; NSOP}
+    group ({ROP; NSOP} pair at N = 1; §2.8: replica/shadow memory for
+    globals is statically initialized). *)
 let rec shadow_ginit env ty (g : Prog.ginit) : Prog.ginit option =
   let tenv = env.dst.Prog.tenv in
+  let pair rop nsop =
+    Prog.Gagg (List.init env.nrep (fun _ -> rop) @ [ nsop ])
+  in
   match ty with
   | Int _ | Float | Void | Fun _ -> None
   | Ptr _ -> (
       if Shadow_type.sat env.stx ty = None then None
       else
         match g with
-        | Prog.Gptr_null | Prog.Gzero -> Some (Prog.Gagg [ Prog.Gptr_null; Prog.Gptr_null ])
+        | Prog.Gptr_null | Prog.Gzero -> Some (pair Prog.Gptr_null Prog.Gptr_null)
         | Prog.Gptr_fun f ->
             (* address-of-function rule: ROP = same address, NSOP = null *)
-            Some (Prog.Gagg [ Prog.Gptr_fun f; Prog.Gptr_null ])
+            Some (pair (Prog.Gptr_fun f) Prog.Gptr_null)
         | Prog.Gptr_global target ->
             let target_has_shadow =
               Shadow_type.sat env.stx (Prog.global_ty env.src target) <> None
@@ -79,7 +99,7 @@ let rec shadow_ginit env ty (g : Prog.ginit) : Prog.ginit option =
               if target_has_shadow then Prog.Gptr_global (shd_global target)
               else Prog.Gptr_null
             in
-            Some (Prog.Gagg [ Prog.Gptr_global target; nsop ])
+            Some (pair (Prog.Gptr_global target) nsop)
         | _ -> unsupported "global pointer cell with non-pointer initializer")
   | Arr (e, n) -> (
       match Shadow_type.sat env.stx ty with
@@ -113,32 +133,35 @@ let rec shadow_ginit env ty (g : Prog.ginit) : Prog.ginit option =
 
 (** SDS replica initializer: identical to the application initializer —
     stored pointer values are the same in both (Figure 2.3).  MDS replica
-    pointers point at replica objects instead (Figure 2.2). *)
-let rec replica_ginit env ty (g : Prog.ginit) : Prog.ginit =
+    [k]'s pointers point at replica [k]'s objects instead (Figure 2.2). *)
+let rec replica_ginit env k ty (g : Prog.ginit) : Prog.ginit =
   match env.cfg.Config.mode with
   | Config.Sds -> g
   | Config.Mds -> (
       match (ty, g) with
       | Ptr _, Prog.Gptr_global target ->
-          if Prog.has_global env.src target then Prog.Gptr_global (rep_global target)
+          if Prog.has_global env.src target then
+            Prog.Gptr_global (rep_global_k target k)
           else g
       | (Arr (e, _) | Ptr e), Prog.Gagg elems ->
-          Prog.Gagg (List.map (replica_ginit env e) elems)
+          Prog.Gagg (List.map (replica_ginit env k e) elems)
       | (Struct sname | Union sname), Prog.Gagg elems ->
           let fields = Tenv.fields env.dst.Prog.tenv sname in
-          Prog.Gagg (List.map2 (replica_ginit env) fields elems)
+          Prog.Gagg (List.map2 (replica_ginit env k) fields elems)
       | _ -> g)
 
 let transform_globals env =
   Prog.iter_globals env.src (fun g ->
       let aug_ty = Shadow_type.at env.stx g.Prog.gty in
       Prog.add_global env.dst { Prog.gname = g.Prog.gname; gty = aug_ty; ginit = g.Prog.ginit };
-      Prog.add_global env.dst
-        {
-          Prog.gname = rep_global g.Prog.gname;
-          gty = aug_ty;
-          ginit = replica_ginit env g.Prog.gty g.Prog.ginit;
-        };
+      for k = 0 to env.nrep - 1 do
+        Prog.add_global env.dst
+          {
+            Prog.gname = rep_global_k g.Prog.gname k;
+            gty = aug_ty;
+            ginit = replica_ginit env k g.Prog.gty g.Prog.ginit;
+          }
+      done;
       if env.cfg.Config.mode = Config.Sds then
         match Shadow_type.sat env.stx g.Prog.gty with
         | Some sdw_ty ->
@@ -169,7 +192,10 @@ let augment_params env (f : Func.t) =
     match ty with
     | Ptr pointee ->
         let aug = Shadow_type.at env.stx ty in
-        let base = [ (name, aug); (name ^ "_r", aug) ] in
+        let base =
+          (name, aug)
+          :: List.init env.nrep (fun k -> (name ^ rep_suffix k, aug))
+        in
         if env.cfg.Config.mode = Config.Sds then
           base @ [ (name ^ "_s", Shadow_type.shadow_reg_ty env.stx pointee) ]
         else base
@@ -196,13 +222,16 @@ type fn_ctx = {
 }
 
 (** A stack slot for a call-site return channel, allocated once per
-    function in the entry block and reused across call sites. *)
-let rv_slot c ty =
+    function in the entry block and reused across call sites.  [count]
+    (default 1) sizes the slot: MDS with N > 1 returns N ROPs through
+    an N-element rvRopPtr buffer. *)
+let rv_slot c ?(count = 1) ty =
   match Hashtbl.find_opt c.rv_slots ty with
   | Some r -> Reg r
   | None ->
       let r = Func.fresh_reg c.df ~name:"rvslot" (Ptr ty) in
-      c.entry_allocas <- Alloca (r, ty, Cint (W64, 1L)) :: c.entry_allocas;
+      c.entry_allocas <-
+        Alloca (r, ty, Cint (W64, Int64.of_int count)) :: c.entry_allocas;
       Hashtbl.replace c.rv_slots ty r;
       Reg r
 
@@ -219,15 +248,18 @@ let make_triples env (sf : Func.t) (df : Func.t) rv_param_count =
       match ty with
       | Ptr _ ->
           let app = dparams.(!cursor) in
-          let rep = dparams.(!cursor + 1) in
+          let reps = Array.init env.nrep (fun k -> dparams.(!cursor + 1 + k)) in
           let shd =
-            if env.cfg.Config.mode = Config.Sds then Some dparams.(!cursor + 2)
+            if env.cfg.Config.mode = Config.Sds then
+              Some dparams.(!cursor + 1 + env.nrep)
             else None
           in
-          cursor := !cursor + (if env.cfg.Config.mode = Config.Sds then 3 else 2);
-          Hashtbl.replace triples r { app; rep = Some rep; shd }
+          cursor :=
+            !cursor + 1 + env.nrep
+            + (if env.cfg.Config.mode = Config.Sds then 1 else 0);
+          Hashtbl.replace triples r { app; reps; shd }
       | _ ->
-          Hashtbl.replace triples r { app = dparams.(!cursor); rep = None; shd = None };
+          Hashtbl.replace triples r { app = dparams.(!cursor); reps = [||]; shd = None };
           incr cursor)
     sf.Func.params;
   (* remaining registers *)
@@ -239,7 +271,10 @@ let make_triples env (sf : Func.t) (df : Func.t) rv_param_count =
         | Ptr pointee ->
             let aug = Shadow_type.at env.stx ty in
             let app = Func.fresh_reg df ~name aug in
-            let rep = Func.fresh_reg df ~name:(name ^ "_r") aug in
+            let reps =
+              Array.init env.nrep (fun k ->
+                  Func.fresh_reg df ~name:(name ^ rep_suffix k) aug)
+            in
             let shd =
               if env.cfg.Config.mode = Config.Sds then
                 Some
@@ -247,10 +282,10 @@ let make_triples env (sf : Func.t) (df : Func.t) rv_param_count =
                      (Shadow_type.shadow_reg_ty env.stx pointee))
               else None
             in
-            Hashtbl.replace triples r { app; rep = Some rep; shd }
+            Hashtbl.replace triples r { app; reps; shd }
         | _ ->
             let app = Func.fresh_reg df ~name (Shadow_type.at env.stx ty) in
-            Hashtbl.replace triples r { app; rep = None; shd = None })
+            Hashtbl.replace triples r { app; reps = [||]; shd = None })
     sf.Func.reg_tys;
   triples
 
@@ -270,42 +305,47 @@ let excl c (o : operand) =
     are themselves excluded by the DSA reachability closure. *)
 let set_unreplicated c b dst_reg =
   let t = triple_of c dst_reg in
-  (match t.rep with
-  | Some r -> Builder.emit b (Bitcast (r, Func.reg_ty c.df r, Reg t.app))
-  | None -> ());
+  Array.iter
+    (fun r -> Builder.emit b (Bitcast (r, Func.reg_ty c.df r, Reg t.app)))
+    t.reps;
   match t.shd with
   | Some s -> Builder.emit b (Bitcast (s, Func.reg_ty c.df s, Null i8))
   | None -> ()
 
-(** Map an operand to its (application, replica, shadow) destination
-    operands.  For non-pointer operands replica = application (non-memory
-    computation is not replicated, §2.1) and shadow is unused. *)
+(** Map an operand to its (application, replicas, shadow) destination
+    operands.  For non-pointer operands every replica = application
+    (non-memory computation is not replicated, §2.1) and shadow is
+    unused. *)
 let map_operand c (o : operand) =
+  let n = c.env.nrep in
   match o with
   | Reg r ->
       let t = triple_of c r in
-      let rep = match t.rep with Some r' -> Reg r' | None -> Reg t.app in
+      let reps =
+        if Array.length t.reps = 0 then Array.make n (Reg t.app)
+        else Array.map (fun r' -> Reg r') t.reps
+      in
       let shd = match t.shd with Some s -> Reg s | None -> Null i8 in
-      (Reg t.app, rep, shd)
-  | Cint _ | Cfloat _ -> (o, o, Null i8)
+      (Reg t.app, reps, shd)
+  | Cint _ | Cfloat _ -> (o, Array.make n o, Null i8)
   | Null t ->
       let aug = Shadow_type.at c.env.stx t in
-      (Null aug, Null aug, Null i8)
+      (Null aug, Array.make n (Null aug), Null i8)
   | Global g ->
-      let rep = Global (rep_global g) in
+      let reps = Array.init n (fun k -> Global (rep_global_k g k)) in
       let shd =
         if sds c && Prog.has_global c.env.dst (shd_global g) then
           Global (shd_global g)
         else Null i8
       in
-      (Global g, rep, shd)
+      (Global g, reps, shd)
   | Fun_addr fn ->
       (* address-of-function rule: ROP = same value, NSOP = null *)
       let fn' = map_fun_name c.env fn in
-      (Fun_addr fn', Fun_addr fn', Null i8)
+      (Fun_addr fn', Array.make n (Fun_addr fn'), Null i8)
 
 let app_op c o = let a, _, _ = map_operand c o in a
-let rep_op c o = let _, r, _ = map_operand c o in r
+let rep_ops c o = let _, r, _ = map_operand c o in r
 let shd_op c o = let _, _, s = map_operand c o in s
 
 (** The per-function detection block: [call __dpmr_detect(id); unreachable]. *)
@@ -338,11 +378,23 @@ let src_pointee c o =
   | t -> unsupported "%s: expected pointer operand, got %a" c.sf.Func.name Types.pp t
 
 (** Shadow struct name for pointer cells of (source) pointee type [t]:
-    sat(Ptr t) is always a two-field {ROP; NSOP} struct. *)
+    sat(Ptr t) is always an {ROP_1..ROP_N; NSOP} struct (a two-field
+    {ROP; NSOP} pair at N = 1). *)
 let pair_struct c cell_ty =
   match Shadow_type.sat c.env.stx (Ptr cell_ty) with
   | Some (Struct s) -> s
   | _ -> assert false
+
+(** Compose the diversity families' per-site permutations of the replica
+    emission order into one permutation of [0 .. n-1]. *)
+let replica_order c ~site =
+  let n = c.env.nrep in
+  let order = Array.init n (fun i -> i) in
+  List.fold_left
+    (fun acc fam ->
+      let p = fam.Diversity_family.i_order ~site ~n in
+      Array.init n (fun i -> acc.(p.(i))))
+    order c.env.fams
 
 (* --- the per-instruction transformation (Tables 2.6/2.7, 4.3/4.4) --- *)
 
@@ -352,12 +404,34 @@ let transform_alloc c b ~heap dst_reg src_ty count =
   let n_app = app_op c count in
   if heap then begin
     Builder.emit b (Malloc (t.app, aug, n_app));
-    let rep_val =
-      Diversity.emit_replica_malloc c.env.div c.env.cfg.Config.diversity b aug n_app
-    in
-    (match (rep_val, t.rep) with
-    | Reg src, Some dstr -> Builder.emit b (Bitcast (dstr, Ptr aug, Reg src))
-    | _ -> assert false);
+    let site = !(c.env.asite) in
+    c.env.asite := site + 1;
+    (* replica allocations in the (family-permuted) emission order; each
+       family may pad the request and surround it with dummy allocations *)
+    Array.iter
+      (fun k ->
+        let extra =
+          List.fold_left
+            (fun acc f -> acc + f.Diversity_family.i_alloc_pad ~replica:k ~site)
+            0 c.env.fams
+        in
+        let pres =
+          List.map
+            (fun f ->
+              (f, f.Diversity_family.i_pre_alloc ~replica:k ~site b aug n_app))
+            c.env.fams
+        in
+        let rep_val =
+          Diversity.emit_replica_malloc c.env.div c.env.cfg.Config.diversity
+            ~extra_pad:extra b aug n_app
+        in
+        List.iter
+          (fun (f, ds) -> f.Diversity_family.i_post_alloc ~replica:k ~site b ds)
+          (List.rev pres);
+        match rep_val with
+        | Reg src -> Builder.emit b (Bitcast (t.reps.(k), Ptr aug, Reg src))
+        | _ -> assert false)
+      (replica_order c ~site);
     if sds c then
       match (Shadow_type.sat c.env.stx src_ty, t.shd) with
       | Some sdw, Some s -> Builder.emit b (Malloc (s, sdw, n_app))
@@ -366,12 +440,16 @@ let transform_alloc c b ~heap dst_reg src_ty count =
   end
   else begin
     Builder.emit b (Alloca (t.app, aug, n_app));
-    let rep_val =
-      Diversity.emit_replica_alloca c.env.div c.env.cfg.Config.diversity b aug n_app
-    in
-    (match (rep_val, t.rep) with
-    | Reg src, Some dstr -> Builder.emit b (Bitcast (dstr, Ptr aug, Reg src))
-    | _ -> assert false);
+    Array.iter
+      (fun rk ->
+        let rep_val =
+          Diversity.emit_replica_alloca c.env.div c.env.cfg.Config.diversity b
+            aug n_app
+        in
+        match rep_val with
+        | Reg src -> Builder.emit b (Bitcast (rk, Ptr aug, Reg src))
+        | _ -> assert false)
+      t.reps;
     if sds c then
       match (Shadow_type.sat c.env.stx src_ty, t.shd) with
       | Some sdw, Some s -> Builder.emit b (Alloca (s, sdw, n_app))
@@ -381,7 +459,10 @@ let transform_alloc c b ~heap dst_reg src_ty count =
 
 let transform_free c b p =
   Builder.free b (app_op c p);
-  Diversity.emit_replica_free c.env.div c.env.cfg.Config.diversity b (rep_op c p);
+  Array.iter
+    (fun rp ->
+      Diversity.emit_replica_free c.env.div c.env.cfg.Config.diversity b rp)
+    (rep_ops c p);
   if sds c then begin
     (* if (ps != null) { free(ps) } — runtime check, in case the static
        type is not precise enough (Table 2.6) *)
@@ -408,12 +489,13 @@ let transform_load c b dst_reg ty p =
     let lbl = detect_label c b in
     c.site <- c.site + 1;
     ignore
-      (Policy.emit_check c.env.pol c.env.cfg.Config.policy b aug_ty (Reg t.app)
-         (rep_op c p) lbl)
+      (Policy.emit_check c.env.pol c.env.cfg.Config.policy
+         c.env.cfg.Config.vote b aug_ty (Reg t.app)
+         (Array.to_list (rep_ops c p)) lbl)
   end;
   if is_ptr then
     if sds c then begin
-      (* xr <- (ps->rop); xs <- (ps->nsop) *)
+      (* xr_k <- (ps->rop_k); xs <- (ps->nsop) *)
       let cell = src_pointee c p in
       let pair = pair_struct c cell in
       let ps = shd_op c p in
@@ -422,27 +504,38 @@ let transform_load c b dst_reg ty p =
           unsupported "%s: pointer load through null shadow (restriction %s)"
             c.sf.Func.name "2.9"
       | _ -> ());
-      let rop_addr = Func.fresh_reg c.df (Ptr (Shadow_type.at c.env.stx cell)) in
-      Builder.emit b (Gep_field (rop_addr, pair, ps, 0));
-      Builder.emit b (Load (Option.get t.rep, aug_ty, Reg rop_addr));
+      Array.iteri
+        (fun k rk ->
+          let rop_addr =
+            Func.fresh_reg c.df (Ptr (Shadow_type.at c.env.stx cell))
+          in
+          Builder.emit b (Gep_field (rop_addr, pair, ps, k));
+          Builder.emit b (Load (rk, aug_ty, Reg rop_addr)))
+        t.reps;
       let nsop_ty = Func.reg_ty c.df (Option.get t.shd) in
       let nsop_addr = Func.fresh_reg c.df (Ptr nsop_ty) in
-      Builder.emit b (Gep_field (nsop_addr, pair, ps, 1));
+      Builder.emit b (Gep_field (nsop_addr, pair, ps, c.env.nrep));
       Builder.emit b (Load (Option.get t.shd, nsop_ty, Reg nsop_addr))
     end
     else
-      (* MDS: xr <- *pr *)
-      Builder.emit b (Load (Option.get t.rep, aug_ty, rep_op c p))
+      (* MDS: xr_k <- *pr_k *)
+      let prs = rep_ops c p in
+      Array.iteri (fun k rk -> Builder.emit b (Load (rk, aug_ty, prs.(k)))) t.reps
 
 let transform_store c b ty v p =
   let aug_ty = Shadow_type.at c.env.stx ty in
-  let v_app, v_rep, v_shd = map_operand c v in
+  let v_app, v_reps, v_shd = map_operand c v in
   Builder.store b aug_ty v_app (app_op c p);
   let is_ptr = is_pointer ty in
-  (* SDS stores the identical value to replica memory (comparable
-     pointers, Figure 2.3); MDS stores the ROP (Figure 2.2). *)
-  let rep_value = if sds c then v_app else v_rep in
-  Builder.store b aug_ty rep_value (rep_op c p);
+  (* SDS stores the identical value to every replica memory (comparable
+     pointers, Figure 2.3); MDS stores replica k's ROP to replica k
+     (Figure 2.2). *)
+  let prs = rep_ops c p in
+  Array.iteri
+    (fun k pr ->
+      let rep_value = if sds c then v_app else v_reps.(k) in
+      Builder.store b aug_ty rep_value pr)
+    prs;
   if is_ptr && sds c then begin
     let cell = src_pointee c p in
     let pair = pair_struct c cell in
@@ -453,12 +546,17 @@ let transform_store c b ty v p =
           c.sf.Func.name
     | _ -> ());
     let rop_ty = Shadow_type.at c.env.stx cell in
-    let rop_addr = Func.fresh_reg c.df (Ptr rop_ty) in
-    Builder.emit b (Gep_field (rop_addr, pair, ps, 0));
-    Builder.store b rop_ty v_rep (Reg rop_addr);
-    let nsop_ty = List.nth (Tenv.fields c.env.dst.Prog.tenv pair) 1 in
+    Array.iteri
+      (fun k vr ->
+        let rop_addr = Func.fresh_reg c.df (Ptr rop_ty) in
+        Builder.emit b (Gep_field (rop_addr, pair, ps, k));
+        Builder.store b rop_ty vr (Reg rop_addr))
+      v_reps;
+    let nsop_ty =
+      List.nth (Tenv.fields c.env.dst.Prog.tenv pair) c.env.nrep
+    in
     let nsop_addr = Func.fresh_reg c.df (Ptr nsop_ty) in
-    Builder.emit b (Gep_field (nsop_addr, pair, ps, 1));
+    Builder.emit b (Gep_field (nsop_addr, pair, ps, c.env.nrep));
     Builder.store b nsop_ty v_shd (Reg nsop_addr)
   end
 
@@ -470,9 +568,10 @@ let transform_gep_field c b dst_reg sname p i =
     | _ -> assert false
   in
   Builder.emit b (Gep_field (t.app, aug_sname, app_op c p, i));
-  (match t.rep with
-  | Some r -> Builder.emit b (Gep_field (r, aug_sname, rep_op c p, i))
-  | None -> ());
+  let prs = rep_ops c p in
+  Array.iteri
+    (fun k r -> Builder.emit b (Gep_field (r, aug_sname, prs.(k), i)))
+    t.reps;
   if sds c then
     let field_ty = List.nth (Tenv.fields c.env.src.Prog.tenv sname) i in
     match (Shadow_type.sat c.env.stx field_ty, t.shd) with
@@ -496,9 +595,10 @@ let transform_gep_index c b dst_reg ety p i =
   let aug_e = Shadow_type.at c.env.stx ety in
   let i_app = app_op c i in
   Builder.emit b (Gep_index (t.app, aug_e, app_op c p, i_app));
-  (match t.rep with
-  | Some r -> Builder.emit b (Gep_index (r, aug_e, rep_op c p, i_app))
-  | None -> ());
+  let prs = rep_ops c p in
+  Array.iteri
+    (fun k r -> Builder.emit b (Gep_index (r, aug_e, prs.(k), i_app)))
+    t.reps;
   if sds c then
     match (Shadow_type.sat c.env.stx ety, t.shd) with
     | Some sdw_e, Some s -> (
@@ -515,9 +615,10 @@ let transform_bitcast c b dst_reg target p =
   let pointee = match target with Ptr e -> e | _ -> unsupported "bitcast to non-pointer" in
   let aug_target = Ptr (Shadow_type.at c.env.stx pointee) in
   Builder.emit b (Bitcast (t.app, aug_target, app_op c p));
-  (match t.rep with
-  | Some r -> Builder.emit b (Bitcast (r, aug_target, rep_op c p))
-  | None -> ());
+  let prs = rep_ops c p in
+  Array.iteri
+    (fun k r -> Builder.emit b (Bitcast (r, aug_target, prs.(k))))
+    t.reps;
   if sds c then
     match t.shd with
     | Some s ->
@@ -600,12 +701,13 @@ let transform_call c b defs dst_reg callee args =
       let nfixed = List.length sig_.params in
       let fixed_args = List.filteri (fun i _ -> i < nfixed) args in
       let var_args = List.filteri (fun i _ -> i >= nfixed) args in
-      (* γ(): each fixed pointer argument becomes (arg, ROP[, NSOP]) *)
+      (* γ(): each fixed pointer argument becomes (arg, ROP_1..ROP_N[, NSOP]) *)
       let expand_fixed p a =
         match p with
         | Ptr _ ->
-            let app, rep, shd = map_operand c a in
-            if sds c then [ app; rep; shd ] else [ app; rep ]
+            let app, reps, shd = map_operand c a in
+            let base = app :: Array.to_list reps in
+            if sds c then base @ [ shd ] else base
         | _ -> [ app_op c a ]
       in
       let fixed' = List.concat (List.map2 expand_fixed sig_.params fixed_args) in
@@ -615,8 +717,9 @@ let transform_call c b defs dst_reg callee args =
       let var_extra =
         List.concat_map
           (fun a ->
-            let _, rep, shd = map_operand c a in
-            if sds c then [ rep; shd ] else [ rep ])
+            let _, reps, shd = map_operand c a in
+            let rl = Array.to_list reps in
+            if sds c then rl @ [ shd ] else rl)
           var_args
       in
       (* π(): return-value ROP/NSOP channel *)
@@ -627,7 +730,7 @@ let transform_call c b defs dst_reg callee args =
             Some (rv_slot c pair_ty, pair_ty)
         | Ptr _, Config.Mds ->
             let pty = Shadow_type.at c.env.stx sig_.ret in
-            Some (rv_slot c pty, pty)
+            Some (rv_slot c ~count:c.env.nrep pty, pty)
         | _ -> None
       in
       let rv_args = match rv_alloca with Some (a, _) -> [ a ] | None -> [] in
@@ -640,7 +743,7 @@ let transform_call c b defs dst_reg callee args =
       let all_args = sdw_extra @ rv_args @ fixed' @ var_app @ var_extra in
       let dst' = Option.map (fun r -> (triple_of c r).app) dst_reg in
       Builder.emit b (Call (dst', callee', all_args));
-      (* unload the returned ROP/NSOP *)
+      (* unload the returned ROPs/NSOP *)
       match (dst_reg, rv_alloca) with
       | Some r, Some (slot, slot_ty) -> (
           let t = triple_of c r in
@@ -650,22 +753,33 @@ let transform_call c b defs dst_reg callee args =
                 match slot_ty with Struct s -> s | _ -> assert false
               in
               let rop_ty = Func.reg_ty c.df t.app in
-              let a0 = Func.fresh_reg c.df (Ptr rop_ty) in
-              Builder.emit b (Gep_field (a0, pair, slot, 0));
-              Builder.emit b (Load (Option.get t.rep, rop_ty, Reg a0));
+              Array.iteri
+                (fun k rk ->
+                  let ak = Func.fresh_reg c.df (Ptr rop_ty) in
+                  Builder.emit b (Gep_field (ak, pair, slot, k));
+                  Builder.emit b (Load (rk, rop_ty, Reg ak)))
+                t.reps;
               let nsop_ty = Func.reg_ty c.df (Option.get t.shd) in
               let a1 = Func.fresh_reg c.df (Ptr nsop_ty) in
-              Builder.emit b (Gep_field (a1, pair, slot, 1));
+              Builder.emit b (Gep_field (a1, pair, slot, c.env.nrep));
               Builder.emit b (Load (Option.get t.shd, nsop_ty, Reg a1))
           | Config.Mds ->
-              Builder.emit b (Load (Option.get t.rep, slot_ty, slot)))
+              if c.env.nrep = 1 then
+                Builder.emit b (Load (t.reps.(0), slot_ty, slot))
+              else
+                Array.iteri
+                  (fun k rk ->
+                    let ak = Func.fresh_reg c.df (Ptr slot_ty) in
+                    Builder.emit b (Gep_index (ak, slot_ty, slot, Builder.i64c k));
+                    Builder.emit b (Load (rk, slot_ty, Reg ak)))
+                  t.reps)
       | _ -> ())
 
 let transform_ret c b o =
   match o with
   | None -> Builder.ret0 b
   | Some v -> (
-      let v_app, v_rep, v_shd = map_operand c v in
+      let v_app, v_reps, v_shd = map_operand c v in
       match (Prog.operand_ty c.env.src c.sf v, c.rv_param) with
       | Ptr _, Some rv -> (
           match c.env.cfg.Config.mode with
@@ -676,17 +790,28 @@ let transform_ret c b o =
                 | _ -> assert false
               in
               let fields = Tenv.fields c.env.dst.Prog.tenv pair in
-              let rop_ty = List.nth fields 0 and nsop_ty = List.nth fields 1 in
-              let a0 = Func.fresh_reg c.df (Ptr rop_ty) in
-              Builder.emit b (Gep_field (a0, pair, Reg rv, 0));
-              Builder.store b rop_ty v_rep (Reg a0);
+              let rop_ty = List.nth fields 0
+              and nsop_ty = List.nth fields c.env.nrep in
+              Array.iteri
+                (fun k vr ->
+                  let ak = Func.fresh_reg c.df (Ptr rop_ty) in
+                  Builder.emit b (Gep_field (ak, pair, Reg rv, k));
+                  Builder.store b rop_ty vr (Reg ak))
+                v_reps;
               let a1 = Func.fresh_reg c.df (Ptr nsop_ty) in
-              Builder.emit b (Gep_field (a1, pair, Reg rv, 1));
+              Builder.emit b (Gep_field (a1, pair, Reg rv, c.env.nrep));
               Builder.store b nsop_ty v_shd (Reg a1);
               Builder.ret b (Some v_app)
           | Config.Mds ->
               let pty = match Func.reg_ty c.df rv with Ptr t -> t | _ -> assert false in
-              Builder.store b pty v_rep (Reg rv);
+              if c.env.nrep = 1 then Builder.store b pty v_reps.(0) (Reg rv)
+              else
+                Array.iteri
+                  (fun k vr ->
+                    let ak = Func.fresh_reg c.df (Ptr pty) in
+                    Builder.emit b (Gep_index (ak, pty, Reg rv, Builder.i64c k));
+                    Builder.store b pty vr (Reg ak))
+                  v_reps;
               Builder.ret b (Some v_app))
       | _ -> Builder.ret b (Some v_app))
 
@@ -695,9 +820,10 @@ let transform_select c b dst_reg ty cond a0 a1 =
   let cond' = app_op c cond in
   let aug = Shadow_type.at c.env.stx ty in
   Builder.emit b (Select (t.app, aug, cond', app_op c a0, app_op c a1));
-  (match t.rep with
-  | Some r -> Builder.emit b (Select (r, aug, cond', rep_op c a0, rep_op c a1))
-  | None -> ());
+  let r0 = rep_ops c a0 and r1 = rep_ops c a1 in
+  Array.iteri
+    (fun k r -> Builder.emit b (Select (r, aug, cond', r0.(k), r1.(k))))
+    t.reps;
   match t.shd with
   | Some s ->
       let sty = Func.reg_ty c.df s in
@@ -845,10 +971,15 @@ let transform_body env (sf : Func.t) (df : Func.t) =
 (* ------------------------------------------------------------------ *)
 
 let synthesize_main env (orig_main : Func.t) =
+  let startups b =
+    (* one-time diversity-family startup code, ahead of any replication *)
+    List.iter (fun f -> f.Diversity_family.i_startup b) env.fams
+  in
   match orig_main.Func.params with
   | [] ->
       (* no command-line arguments: main just tail-calls mainAug *)
       let b = Builder.create env.dst ~name:"main" ~params:[] ~ret:orig_main.Func.ret () in
+      startups b;
       let r = Builder.call b (Direct "mainAug") [] in
       Builder.ret b r
   | [ (_, argc_ty); (_, argv_ty) ] ->
@@ -858,15 +989,21 @@ let synthesize_main env (orig_main : Func.t) =
           ~ret:orig_main.Func.ret ()
       in
       let argc = Builder.param b 0 and argv = Builder.param b 1 in
-      let argv_r = Builder.call1 b ~name:"argv_r" (Direct "__dpmr_argv_r") [ argc; argv ] in
+      startups b;
+      let argv_rs =
+        List.init env.nrep (fun k ->
+            Builder.call1 b
+              ~name:("argv" ^ rep_suffix k)
+              (Direct "__dpmr_argv_r") [ argc; argv ])
+      in
       let args =
         match env.cfg.Config.mode with
         | Config.Sds ->
             let argv_s =
               Builder.call1 b ~name:"argv_s" (Direct "__dpmr_argv_s") [ argc; argv ]
             in
-            [ argc; argv; argv_r; argv_s ]
-        | Config.Mds -> [ argc; argv; argv_r ]
+            (argc :: argv :: argv_rs) @ [ argv_s ]
+        | Config.Mds -> argc :: argv :: argv_rs
       in
       let r = Builder.call b (Direct "mainAug") args in
       Builder.ret b r
@@ -880,11 +1017,43 @@ let synthesize_main env (orig_main : Func.t) =
     source program is left untouched.  [excluded] is the Chapter 5 DSA
     scope callback (function name, register) -> leave-unreplicated. *)
 let transform ?(excluded = fun _ _ -> false) (cfg : Config.t) (src : Prog.t) : Prog.t =
+  if cfg.Config.replicas < 1 then
+    unsupported "replica count must be >= 1 (got %d)" cfg.Config.replicas;
   let dst = Prog.create ~tenv:(Tenv.copy src.Prog.tenv) () in
-  let stx = Shadow_type.create dst.Prog.tenv cfg.Config.mode in
+  let stx =
+    Shadow_type.create ~replicas:cfg.Config.replicas dst.Prog.tenv
+      cfg.Config.mode
+  in
   let pol = Policy.prepare cfg.Config.policy cfg.Config.seed dst in
   let div = Diversity.prepare cfg.Config.diversity dst in
-  let env = { cfg; stx; src; dst; pol; div; excluded } in
+  let fams =
+    match Diversity_family.resolve cfg.Config.families with
+    | Ok fs ->
+        List.map
+          (fun f ->
+            Diversity_family.instantiate f src ~seed:cfg.Config.seed
+              ~replicas:cfg.Config.replicas)
+          fs
+    | Error n ->
+        unsupported "unknown diversity family %S (registered: %s)" n
+          (match Diversity_family.names () with
+          | [] -> "none"
+          | ns -> String.concat ", " ns)
+  in
+  let env =
+    {
+      cfg;
+      stx;
+      src;
+      dst;
+      pol;
+      div;
+      nrep = cfg.Config.replicas;
+      fams;
+      asite = ref 0;
+      excluded;
+    }
+  in
   (* intrinsic signatures (also declares the base libc names; transformed
      code never calls those directly, but the declarations are harmless) *)
   Dpmr_vm.Extern.declare_signatures dst;

@@ -25,7 +25,7 @@ type spec = {
 (** Bump whenever the transforms, VM, cost model, allocator or workload
     builders change semantics: the salt is folded into every content
     hash, so bumping it invalidates all previously cached results. *)
-let default_salt = "dpmr-engine/1"
+let default_salt = "dpmr-engine/2"
 
 let make (e : Experiment.t) ~workload ~scale ~run_seed variant =
   {
@@ -66,8 +66,20 @@ let config_repr (c : Config.t) =
     | Config.Temporal m -> Printf.sprintf "temporal-%Lx" m
     | Config.Static f -> Printf.sprintf "static-%h" f
   in
-  Printf.sprintf "%s,%s,%s,%Ld" (Config.mode_name c.Config.mode) diversity policy
-    c.Config.seed
+  (* N-version axes append only when non-default, so every pre-N-version
+     repr (and therefore its key) is reproduced byte for byte *)
+  let nversion =
+    if
+      c.Config.replicas = 1 && c.Config.families = []
+      && c.Config.vote = Config.Any_mismatch
+    then ""
+    else
+      Printf.sprintf ",n=%d,fam=%s,vote=%s" c.Config.replicas
+        (String.concat "+" c.Config.families)
+        (Config.vote_name c.Config.vote)
+  in
+  Printf.sprintf "%s,%s,%s,%Ld%s" (Config.mode_name c.Config.mode) diversity policy
+    c.Config.seed nversion
 
 let variant_repr = function
   | Experiment.Golden -> "golden"

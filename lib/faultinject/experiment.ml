@@ -58,7 +58,8 @@ let result_classification = function Run c -> Some c | Job_failed _ -> None
 type prepared = {
   pprog : Prog.t;
   plowered : Dpmr_vm.Lower.prog;
-  pmode : Config.mode option;  (** [Some] iff the DPMR wrappers apply *)
+  pmode : (Config.mode * int) option;
+      (** [Some (mode, replicas)] iff the DPMR wrappers apply *)
 }
 
 type t = {
@@ -139,7 +140,7 @@ let prepare t variant =
     {
       pprog = tp;
       plowered = Dpmr_vm.Lower.lower_prog tp;
-      pmode = Some cfg.Config.mode;
+      pmode = Some (cfg.Config.mode, cfg.Config.replicas);
     }
   in
   match variant with
@@ -157,9 +158,9 @@ let run_variant ?seed t variant =
     | None ->
         Dpmr.run_plain ~seed ~budget:t.budget ~args:t.wk.args
           ~lowered:p.plowered p.pprog
-    | Some mode ->
+    | Some (mode, replicas) ->
         Dpmr.run_transformed ~seed ~budget:t.budget ~args:t.wk.args
-          ~lowered:p.plowered ~mode p.pprog
+          ~lowered:p.plowered ~mode ~replicas p.pprog
   in
   classify t r
 
@@ -201,9 +202,9 @@ let run_prepared ?seed t p =
     | None ->
         Dpmr.run_plain ~seed ~budget:t.budget ~args:t.wk.args
           ~lowered:p.plowered p.pprog
-    | Some mode ->
+    | Some (mode, replicas) ->
         Dpmr.run_transformed ~seed ~budget:t.budget ~args:t.wk.args
-          ~lowered:p.plowered ~mode p.pprog
+          ~lowered:p.plowered ~mode ~replicas p.pprog
   in
   classify t r
 
@@ -292,9 +293,9 @@ let plan_group ?seed t variants =
        | None ->
            Dpmr.watched_plain ~seed ~budget:t.budget ~args:t.wk.args
              ~lowered:bp.plowered bp.pprog limitss
-       | Some mode ->
+       | Some (mode, replicas) ->
            Dpmr.watched_transformed ~seed ~budget:t.budget ~args:t.wk.args
-             ~lowered:bp.plowered ~mode bp.pprog limitss
+             ~lowered:bp.plowered ~mode ~replicas bp.pprog limitss
      in
      match watched () with
      | results ->
@@ -329,8 +330,8 @@ let run_member ?seed t g i =
         | None ->
             Dpmr.resume_plain ~seed ~budget:t.budget ~lowered:p.plowered
               ~remap p.pprog snap
-        | Some mode ->
+        | Some (mode, replicas) ->
             Dpmr.resume_transformed ~seed ~budget:t.budget ~lowered:p.plowered
-              ~remap ~mode p.pprog snap
+              ~remap ~mode ~replicas p.pprog snap
       in
       classify t r

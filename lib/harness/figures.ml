@@ -22,6 +22,10 @@ type ctx = {
       (** repetitions per (site, variant) with distinct seeds — the run
           number RN of the (W, C, D, I, RN) experiment tuple (§3.6) *)
   engine : Engine.t;  (** runs every job batch: parallelism + result cache *)
+  nv : Config.t -> Config.t;
+      (** N-version override applied to every figure configuration
+          ([--replicas]/[--families]/[--vote]); identity at the defaults,
+          so the byte-stable [report all] contract is untouched *)
   experiments : (string, Experiment.t) Hashtbl.t;
       (** main-domain contexts, for site enumeration and golden baselines
           (worker domains build their own — see [Engine]) *)
@@ -29,7 +33,8 @@ type ctx = {
   snad_cache : (string, bool list) Hashtbl.t;  (** StdNotAllDet per site *)
 }
 
-let create ?(scale = 1) ?(seed = 42L) ?(reps = 1) ?engine () =
+let create ?(scale = 1) ?(seed = 42L) ?(reps = 1) ?(replicas = 1) ?(families = [])
+    ?(vote = Config.Any_mismatch) ?engine () =
   let engine =
     (* absent an explicit engine, behave exactly like the historical
        serial driver: one worker, no persistent cache *)
@@ -42,6 +47,7 @@ let create ?(scale = 1) ?(seed = 42L) ?(reps = 1) ?engine () =
     seed;
     reps = max 1 reps;
     engine;
+    nv = (fun cfg -> { cfg with Config.replicas; families; vote });
     experiments = Hashtbl.create 8;
     class_cache = Hashtbl.create 64;
     snad_cache = Hashtbl.create 16;
@@ -269,6 +275,7 @@ let cov_header = [ "variant"; "app"; "CO"; "NatDet"; "DpmrDet"; "total"; "n" ]
 (** Per-app coverage figure (3.6/3.7/3.11/3.12 and the 4.x analogues). *)
 let coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
   T.print_section title;
+  let mk_cfg v = ctx.nv (mk_cfg v) in
   ensure ctx
     (List.map (fun app -> stdapp_cell ctx app kind) apps
     @ List.concat_map
@@ -288,6 +295,7 @@ let coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
 (** Aggregated conditional coverage (3.8/3.9/3.13/3.14 and 4.x). *)
 let cond_coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
   T.print_section title;
+  let mk_cfg v = ctx.nv (mk_cfg v) in
   ensure ctx
     (List.map (fun app -> stdapp_cell ctx app kind) apps
     @ List.concat_map
@@ -310,6 +318,7 @@ let cond_coverage_figure ctx ~title ~kind ~variants ~mk_cfg =
 
 let overhead_figure ctx ~title ~variants ~mk_cfg =
   T.print_section title;
+  let mk_cfg v = ctx.nv (mk_cfg v) in
   ensure ctx
     (List.concat_map
        (fun (_, v) -> List.map (fun app -> nofi_cell ctx app (mk_cfg v)) apps)
@@ -327,6 +336,7 @@ let overhead_figure ctx ~title ~variants ~mk_cfg =
 (** Side-by-side SDS/MDS overheads (Figures 4.3/4.4). *)
 let side_by_side_overhead ctx ~title ~variants ~mk_cfg =
   T.print_section title;
+  let mk_cfg m v = ctx.nv (mk_cfg m v) in
   ensure ctx
     (List.concat_map
        (fun (_, v) ->
@@ -356,6 +366,7 @@ let side_by_side_overhead ctx ~title ~variants ~mk_cfg =
 
 let t2d_table ctx ~title ~variants ~mk_cfg =
   T.print_section title;
+  let mk_cfg v = ctx.nv (mk_cfg v) in
   ensure ctx
     (List.concat_map
        (fun kind ->
@@ -636,7 +647,7 @@ let all : (string * string * (ctx -> unit)) list =
       fun ctx ->
         T.print_section "Rx-style recovery from DPMR-detected resize faults";
         let kind = kind_resize in
-        let cfg = div_cfg sds Config.No_diversity in
+        let cfg = ctx.nv (div_cfg sds Config.No_diversity) in
         (* enumerate (app, site, budget) on the main domain, then run the
            recovery attempts through the engine pool; each task rebuilds
            its program so no Prog.t crosses domains *)
@@ -657,7 +668,8 @@ let all : (string * string * (ctx -> unit)) list =
                  let p = (Workloads.find app).Workloads.build ~scale () in
                  let injected = Dpmr_fi.Inject.apply p kind site in
                  Dpmr_core.Rx.run_with_recovery ~budget cfg injected
-                   ~escalation:[ 8; 64; 1024 ])
+                   ~escalation:
+                     [ Dpmr_core.Rx.Pad 8; Dpmr_core.Rx.Pad 64; Dpmr_core.Rx.Pad 1024 ])
                work)
         in
         let rows =
@@ -669,7 +681,11 @@ let all : (string * string * (ctx -> unit)) list =
                     app;
                     Dpmr_fi.Inject.site_name site;
                     (match res.Dpmr_core.Rx.recovered_with with
-                    | Some pad -> Printf.sprintf "recovered (pad %d)" pad
+                    | Some (Dpmr_core.Rx.Pad pad) ->
+                        Printf.sprintf "recovered (pad %d)" pad
+                    | Some change ->
+                        Printf.sprintf "recovered (%s)"
+                          (Dpmr_core.Rx.env_change_name change)
                     | None -> "NOT recovered");
                     string_of_int res.Dpmr_core.Rx.attempts;
                   ]
@@ -685,8 +701,8 @@ let all : (string * string * (ctx -> unit)) list =
         ensure ctx
           (List.concat_map
              (fun app ->
-               [ nofi_cell ctx app (div_cfg sds Config.No_diversity);
-                 nofi_cell ctx app (div_cfg mds Config.No_diversity) ])
+               [ nofi_cell ctx app (ctx.nv (div_cfg sds Config.No_diversity));
+                 nofi_cell ctx app (ctx.nv (div_cfg mds Config.No_diversity)) ])
              apps);
         let header = [ "app"; "sds"; "mds" ] in
         let rows =
@@ -694,8 +710,8 @@ let all : (string * string * (ctx -> unit)) list =
             (fun app ->
               [
                 app;
-                ratio_cell (memory_overhead ctx app (div_cfg sds Config.No_diversity));
-                ratio_cell (memory_overhead ctx app (div_cfg mds Config.No_diversity));
+                ratio_cell (memory_overhead ctx app (ctx.nv (div_cfg sds Config.No_diversity)));
+                ratio_cell (memory_overhead ctx app (ctx.nv (div_cfg mds Config.No_diversity)));
               ])
             apps
         in
@@ -829,3 +845,126 @@ let forensics ctx fig =
   if bad <> [] then
     Printf.printf "!! %d run(s) where trace distance disagrees with t2d\n"
       (List.length bad)
+
+(* ---------------- N-version detection surface ----------------
+
+   Like forensics, deliberately not in [all]: [report all]'s stdout is a
+   byte-stable golden contract, and the surface is the N-version
+   subsystem's own figure ([dpmr report nversion-surface]). *)
+
+module Surface = Dpmr_nversion.Surface
+
+(** Detection-coverage surface over (replica count, family set, fault
+    model), plus the detection-condition analysis and the per-replica
+    overhead against the Equation 3.1-style linear model.  Every grid
+    point is an ordinary engine-batched fault grid — cached, chaos-safe
+    and distributable like any other figure. *)
+let nversion_surface ctx =
+  Dpmr_nversion.Families.ensure ();
+  T.print_section
+    "N-version detection surface (SDS, no base diversity, any-mismatch)";
+  let kinds = [ kind_resize; kind_free ] in
+  let points =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun (sname, fams) ->
+            List.map (fun n -> (kind, sname, fams, n)) Surface.ns)
+          Surface.family_sets)
+      kinds
+  in
+  let cfg_of (_, _, fams, n) = Surface.cfg ~n ~families:fams () in
+  ensure ctx
+    (List.map (fun app -> stdapp_cell ctx app kind_resize) apps
+    @ List.map (fun app -> stdapp_cell ctx app kind_free) apps
+    @ List.concat_map
+        (fun ((kind, _, _, _) as pt) ->
+          List.map (fun app -> dpmr_cell ctx app kind (cfg_of pt)) apps)
+        points);
+  let totals = Hashtbl.create 64 in
+  let rows = ref [] in
+  List.iter
+    (fun kind ->
+      let rs = List.concat_map (fun app -> stdapp_results ctx app kind) apps in
+      rows :=
+        ([ kind_tag kind; "stdapp"; "-" ]
+        @ cov_cells ~failed:(failed_of rs) (Metrics.of_list (ok_of rs)))
+        :: !rows)
+    kinds;
+  List.iter
+    (fun ((kind, sname, _, n) as pt) ->
+      let rs = List.concat_map (fun app -> dpmr_results ctx app kind (cfg_of pt)) apps in
+      let cov = Metrics.of_list (ok_of rs) in
+      Hashtbl.replace totals (kind_tag kind, sname, n) (Metrics.total cov);
+      rows :=
+        ([ kind_tag kind; sname; string_of_int n ]
+        @ cov_cells ~failed:(failed_of rs) cov)
+        :: !rows)
+    points;
+  print_string
+    (T.render
+       ([ "kind"; "families"; "N"; "CO"; "NatDet"; "DpmrDet"; "total"; "n" ]
+       :: List.rev !rows));
+  (* detection conditions: what each (N, vote) point requires of a fault *)
+  T.print_section "Detection conditions by (N, vote)";
+  print_string
+    (T.render
+       ([ "N"; "vote"; "condition" ]
+       :: List.concat_map
+            (fun n ->
+              List.map
+                (fun vote ->
+                  [
+                    string_of_int n;
+                    Config.vote_name vote;
+                    Surface.detection_condition ~n ~vote;
+                  ])
+                [ Config.Any_mismatch; Config.Majority ])
+            Surface.ns));
+  (* marginal detection gain of going 1 -> max N, per family set *)
+  T.print_section "Marginal total-coverage gain of N=3 over N=1";
+  let nmax = List.fold_left max 1 Surface.ns in
+  print_string
+    (T.render
+       ([ "kind"; "families"; "total@1"; Printf.sprintf "total@%d" nmax; "gain" ]
+       :: List.concat_map
+            (fun kind ->
+              List.map
+                (fun (sname, _) ->
+                  let t n =
+                    Hashtbl.find_opt totals (kind_tag kind, sname, n)
+                  in
+                  match (t 1, t nmax) with
+                  | Some t1, Some tn ->
+                      [ kind_tag kind; sname; T.f2 t1; T.f2 tn; T.f2 (tn -. t1) ]
+                  | _ -> [ kind_tag kind; sname; hole; hole; hole ])
+                Surface.family_sets)
+            kinds));
+  (* per-replica overhead of the full family stack vs the linear model *)
+  T.print_section "Per-replica overhead (all families) vs linear model";
+  let stack = List.assoc "all-families" Surface.family_sets in
+  let ocfg n = Surface.cfg ~n ~families:stack () in
+  ensure ctx
+    (List.concat_map
+       (fun n -> List.map (fun app -> nofi_cell ctx app (ocfg n)) apps)
+       Surface.ns);
+  let mean_overhead n =
+    let vs = List.filter_map (fun app -> overhead ctx app (ocfg n)) apps in
+    match vs with
+    | [] -> None
+    | _ -> Some (List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs))
+  in
+  let single = mean_overhead 1 in
+  print_string
+    (T.render
+       ([ "N"; "measured"; "linear model" ]
+       :: List.map
+            (fun n ->
+              [
+                string_of_int n;
+                (match mean_overhead n with Some v -> T.f2 v | None -> hole);
+                (match single with
+                | Some s -> T.f2 (Surface.linear_overhead ~n ~single:s)
+                | None -> hole);
+              ])
+            Surface.ns))

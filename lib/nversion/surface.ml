@@ -1,0 +1,48 @@
+(** The (N, transform-family, fault-model) detection surface.
+
+    The paper evaluates one replica under one diversity transformation;
+    the N-version subsystem turns that point into a surface: replica
+    count x family set x fault model.  This module is the surface's
+    specification — the grid the harness figure sweeps, the
+    configurations each grid point denotes, and the analysis helpers
+    (detection conditions, the Equation 3.1-style linear overhead
+    model) the figure reports against. *)
+
+module Config = Dpmr_core.Config
+
+(** Replica counts the surface sweeps. *)
+let ns = [ 1; 2; 3 ]
+
+(** Family sets per grid column: each standard family alone, plus the
+    full stack. *)
+let family_sets =
+  [
+    ("none", []);
+    ("layout-perm", [ "layout-perm" ]);
+    ("alloc-shuffle", [ "alloc-shuffle" ]);
+    ("segment-base", [ "segment-base" ]);
+    ("pad-jitter", [ "pad-jitter" ]);
+    ("all-families", [ "layout-perm"; "alloc-shuffle"; "segment-base"; "pad-jitter" ]);
+  ]
+
+(** The configuration one grid point denotes.  Baseline diversity stays
+    [No_diversity]: the surface isolates what the *families* and the
+    replica count buy, on top of nothing. *)
+let cfg ?(mode = Config.Sds) ?(vote = Config.Any_mismatch) ~n ~families () =
+  { Config.default with Config.mode; replicas = n; families; vote }
+
+(** When does a fault manifest as a detection at a grid point?  The
+    §2.5-style condition, generalized across N and the voting rule. *)
+let detection_condition ~n ~(vote : Config.vote) =
+  match (n, vote) with
+  | 1, _ -> "app diverges from its single replica at a checked load"
+  | _, Config.Any_mismatch ->
+      Printf.sprintf "app diverges from >= 1 of %d replicas at a checked load" n
+  | _, Config.Majority ->
+      Printf.sprintf "app diverges from > %d of %d replicas at a checked load" (n / 2) n
+
+(** The naive linear cost model the measured per-replica overhead is
+    compared against: replication work scales with N on top of the
+    application's own share (Equation 3.1's ratio, extrapolated).
+    [single] is the measured N=1 overhead ratio. *)
+let linear_overhead ~n ~single = 1.0 +. (float_of_int n *. (single -. 1.0))

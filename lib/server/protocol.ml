@@ -96,6 +96,23 @@ let mode_of_string = function
   | "mds" -> Some Config.Mds
   | _ -> None
 
+let vote_to_string = function
+  | Config.Any_mismatch -> "any-mismatch"
+  | Config.Majority -> "majority"
+
+let vote_of_string = function
+  | "any-mismatch" -> Some Config.Any_mismatch
+  | "majority" -> Some Config.Majority
+  | _ -> None
+
+(** Families travel as one "+"-joined string field, matching the
+    {!Config.nversion_suffix} rendering. *)
+let families_to_string fs = String.concat "+" fs
+
+let families_of_string s =
+  if s = "" then []
+  else String.split_on_char '+' s |> List.filter (fun f -> f <> "")
+
 (* ---------------- request / response model ---------------- *)
 
 (** One detection-verdict request.  [golden] runs the untransformed
@@ -124,6 +141,9 @@ type run_params = {
   diversity : Config.diversity;
   policy : Config.policy;
   cfg_seed : int64;
+  replicas : int;  (** N-version replica count; 1 = the paper's design *)
+  families : string list;  (** diversity-family names, registry-validated *)
+  vote : Config.vote;
   forensics : bool;
 }
 
@@ -143,11 +163,22 @@ let default_run =
     diversity = Config.No_diversity;
     policy = Config.All_loads;
     cfg_seed = 42L;
+    replicas = 1;
+    families = [];
+    vote = Config.Any_mismatch;
     forensics = false;
   }
 
 let config_of (p : run_params) =
-  { Config.mode = p.mode; diversity = p.diversity; policy = p.policy; seed = p.cfg_seed }
+  {
+    Config.mode = p.mode;
+    diversity = p.diversity;
+    policy = p.policy;
+    seed = p.cfg_seed;
+    replicas = p.replicas;
+    families = p.families;
+    vote = p.vote;
+  }
 
 type body =
   | Hello of string  (** client identification, echoed in logs *)
@@ -241,6 +272,13 @@ let encode_request { rid; body } =
         (mode_to_string p.mode)
         (diversity_to_string p.diversity)
         (policy_to_string p.policy) p.cfg_seed;
+      (* N-version fields travel only when non-default, so single-replica
+         frames are byte-identical to the pre-N-version wire format *)
+      if p.replicas <> 1 then add ",\"replicas\":%d" p.replicas;
+      if p.families <> [] then
+        add ",\"families\":\"%s\"" (esc (families_to_string p.families));
+      if p.vote <> Config.Any_mismatch then
+        add ",\"vote\":\"%s\"" (vote_to_string p.vote);
       add ",\"forensics\":%b" p.forensics);
   Buffer.add_char b '}';
   Buffer.contents b
@@ -370,6 +408,15 @@ let decode_run fields =
   let* pol_s = str_field fields "policy" ~default:"all-loads" in
   let* policy = atom "policy" policy_of_string pol_s in
   let* cfg_seed = int64_field fields "cseed" ~default:exp_seed in
+  let* replicas = int_field fields "replicas" ~default:1 in
+  let* () =
+    if replicas >= 1 then Ok ()
+    else Error (Printf.sprintf "replicas must be >= 1 (got %d)" replicas)
+  in
+  let* families_s = str_field fields "families" ~default:"" in
+  let families = families_of_string families_s in
+  let* vote_s = str_field fields "vote" ~default:"any-mismatch" in
+  let* vote = atom "vote" vote_of_string vote_s in
   let* forensics = bool_field fields "forensics" ~default:false in
   Ok
     {
@@ -387,6 +434,9 @@ let decode_run fields =
       diversity;
       policy;
       cfg_seed;
+      replicas;
+      families;
+      vote;
       forensics;
     }
 

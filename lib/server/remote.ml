@@ -53,6 +53,9 @@ let params_of_spec (spec : Job.spec) =
         diversity = cfg.Dpmr_core.Config.diversity;
         policy = cfg.Dpmr_core.Config.policy;
         cfg_seed = cfg.Dpmr_core.Config.seed;
+        replicas = cfg.Dpmr_core.Config.replicas;
+        families = cfg.Dpmr_core.Config.families;
+        vote = cfg.Dpmr_core.Config.vote;
       }
   | Experiment.Fi_dpmr (cfg, kind, site) ->
       {
@@ -63,6 +66,9 @@ let params_of_spec (spec : Job.spec) =
         diversity = cfg.Dpmr_core.Config.diversity;
         policy = cfg.Dpmr_core.Config.policy;
         cfg_seed = cfg.Dpmr_core.Config.seed;
+        replicas = cfg.Dpmr_core.Config.replicas;
+        families = cfg.Dpmr_core.Config.families;
+        vote = cfg.Dpmr_core.Config.vote;
       }
 
 (** [unix:PATH], [HOST:PORT], or a bare socket path. *)

@@ -195,6 +195,11 @@ let gen_run =
         (int_range 0 99);
     ]
   >>= fun site_ref ->
+  int_range 1 4 >>= fun replicas ->
+  oneofl
+    [ []; [ "pad-jitter" ]; [ "layout-perm"; "alloc-shuffle" ]; [ "segment-base" ] ]
+  >>= fun families ->
+  oneofl [ Config.Any_mismatch; Config.Majority ] >>= fun vote ->
   return
     {
       Protocol.workload;
@@ -211,6 +216,9 @@ let gen_run =
       diversity;
       policy;
       cfg_seed;
+      replicas;
+      families;
+      vote;
       forensics;
     }
 
